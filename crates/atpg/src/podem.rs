@@ -1,0 +1,372 @@
+//! PODEM (path-oriented decision making) deterministic test generation.
+//!
+//! The implementation follows the textbook algorithm: decisions are made
+//! only on the combinational inputs (primary inputs and scan-cell outputs —
+//! the circuit is full scan), each decision is followed by three-valued
+//! forward implication of both the good and the faulty machine, and the
+//! search backtracks when the fault can no longer be activated or its effect
+//! can no longer reach an observation point.
+//!
+//! The same backtrace machinery is reused by the justification step of the
+//! paper's `FindControlledInputPattern()` procedure (in `scanpower-core`),
+//! which is PODEM-like but justifies internal objectives instead of
+//! propagating fault effects.
+
+use scanpower_netlist::{GateId, NetId, Netlist, topo};
+use scanpower_sim::fault::Fault;
+use scanpower_sim::Logic;
+
+/// Result of a PODEM run for one fault.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PodemOutcome {
+    /// A test was found; the vector assigns every combinational input
+    /// (don't-cares remain [`Logic::X`]).
+    Test(Vec<Logic>),
+    /// The search space was exhausted: the fault is untestable
+    /// (combinationally redundant).
+    Untestable,
+    /// The backtrack limit was hit before a conclusion was reached.
+    Aborted,
+}
+
+/// PODEM test generator for a fixed netlist.
+#[derive(Debug, Clone)]
+pub struct Podem {
+    order: Vec<GateId>,
+    inputs: Vec<NetId>,
+    input_position: Vec<Option<usize>>,
+    observation: Vec<NetId>,
+    backtrack_limit: usize,
+}
+
+#[derive(Debug, Clone)]
+struct Machine {
+    good: Vec<Logic>,
+    faulty: Vec<Logic>,
+}
+
+impl Podem {
+    /// Builds a generator with the given backtrack limit per fault.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the combinational part of the netlist is cyclic.
+    #[must_use]
+    pub fn new(netlist: &Netlist, backtrack_limit: usize) -> Podem {
+        let inputs = netlist.combinational_inputs();
+        let mut input_position = vec![None; netlist.net_count()];
+        for (i, &net) in inputs.iter().enumerate() {
+            input_position[net.index()] = Some(i);
+        }
+        let mut observation = netlist.primary_outputs().to_vec();
+        observation.extend(netlist.pseudo_outputs());
+        observation.sort_unstable();
+        observation.dedup();
+        Podem {
+            order: topo::topological_gates(netlist).expect("acyclic"),
+            inputs,
+            input_position,
+            observation,
+            backtrack_limit,
+        }
+    }
+
+    /// Combinational inputs in decision order (primary inputs then
+    /// pseudo-inputs).
+    #[must_use]
+    pub fn inputs(&self) -> &[NetId] {
+        &self.inputs
+    }
+
+    /// Attempts to generate a test for `fault`.
+    #[must_use]
+    pub fn generate(&self, netlist: &Netlist, fault: Fault) -> PodemOutcome {
+        let mut assignment: Vec<Logic> = vec![Logic::X; self.inputs.len()];
+        let mut machine = Machine {
+            good: vec![Logic::X; netlist.net_count()],
+            faulty: vec![Logic::X; netlist.net_count()],
+        };
+        self.imply(netlist, &assignment, fault, &mut machine);
+
+        // Decision stack: (input index, value tried, second value tried?).
+        let mut stack: Vec<(usize, bool, bool)> = Vec::new();
+        let mut backtracks = 0usize;
+
+        loop {
+            if self.fault_detected(&machine) {
+                return PodemOutcome::Test(assignment);
+            }
+            let objective = self.objective(netlist, fault, &machine);
+            let decision = objective.and_then(|(net, value)| {
+                self.backtrace(netlist, &machine, net, value)
+            });
+
+            match decision {
+                Some((input_index, value)) => {
+                    assignment[input_index] = Logic::from_bool(value);
+                    stack.push((input_index, value, false));
+                    self.imply(netlist, &assignment, fault, &mut machine);
+                }
+                None => {
+                    // No way forward: backtrack.
+                    loop {
+                        match stack.pop() {
+                            Some((input_index, value, tried_both)) => {
+                                if tried_both {
+                                    assignment[input_index] = Logic::X;
+                                    continue;
+                                }
+                                backtracks += 1;
+                                if backtracks > self.backtrack_limit {
+                                    return PodemOutcome::Aborted;
+                                }
+                                assignment[input_index] = Logic::from_bool(!value);
+                                stack.push((input_index, !value, true));
+                                self.imply(netlist, &assignment, fault, &mut machine);
+                                break;
+                            }
+                            None => return PodemOutcome::Untestable,
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Forward three-valued implication of both machines from the current
+    /// input assignment.
+    fn imply(
+        &self,
+        netlist: &Netlist,
+        assignment: &[Logic],
+        fault: Fault,
+        machine: &mut Machine,
+    ) {
+        for value in machine.good.iter_mut() {
+            *value = Logic::X;
+        }
+        for value in machine.faulty.iter_mut() {
+            *value = Logic::X;
+        }
+        for (i, &net) in self.inputs.iter().enumerate() {
+            machine.good[net.index()] = assignment[i];
+            machine.faulty[net.index()] = assignment[i];
+        }
+        // The faulty machine pins the fault site to the stuck value.
+        machine.faulty[fault.net.index()] = Logic::from_bool(fault.stuck_at_one);
+
+        let mut scratch: Vec<Logic> = Vec::with_capacity(8);
+        for &gate_id in &self.order {
+            let gate = netlist.gate(gate_id);
+            scratch.clear();
+            scratch.extend(gate.inputs.iter().map(|&n| machine.good[n.index()]));
+            machine.good[gate.output.index()] = Logic::eval_gate(gate.kind, &scratch);
+            scratch.clear();
+            scratch.extend(gate.inputs.iter().map(|&n| machine.faulty[n.index()]));
+            let faulty_value = Logic::eval_gate(gate.kind, &scratch);
+            machine.faulty[gate.output.index()] = if gate.output == fault.net {
+                Logic::from_bool(fault.stuck_at_one)
+            } else {
+                faulty_value
+            };
+        }
+    }
+
+    fn fault_detected(&self, machine: &Machine) -> bool {
+        self.observation.iter().any(|&net| {
+            let good = machine.good[net.index()];
+            let faulty = machine.faulty[net.index()];
+            good.is_known() && faulty.is_known() && good != faulty
+        })
+    }
+
+    /// Picks the next objective `(net, value)`.
+    fn objective(
+        &self,
+        netlist: &Netlist,
+        fault: Fault,
+        machine: &Machine,
+    ) -> Option<(NetId, bool)> {
+        // Phase 1: activate the fault.
+        let site_good = machine.good[fault.net.index()];
+        if site_good == Logic::X {
+            return Some((fault.net, !fault.stuck_at_one));
+        }
+        if site_good == Logic::from_bool(fault.stuck_at_one) {
+            // The fault site is pinned to the stuck value in the good
+            // machine: activation is impossible under the current
+            // assignment.
+            return None;
+        }
+        // Phase 2: propagate — pick a gate from the D-frontier and set one
+        // of its unknown inputs to the non-controlling value.
+        let frontier_gate = self.d_frontier(netlist, machine)?;
+        let gate = netlist.gate(frontier_gate);
+        let unknown = gate
+            .inputs
+            .iter()
+            .copied()
+            .find(|&n| machine.good[n.index()] == Logic::X)?;
+        let non_controlling = match gate.kind.controlling_value() {
+            Some(cv) => !cv,
+            None => true,
+        };
+        Some((unknown, non_controlling))
+    }
+
+    /// First gate whose output does not yet carry a definite fault-effect
+    /// status (at least one machine still evaluates it to X) but which has a
+    /// fault effect (good ≠ faulty, both known) on at least one input.
+    fn d_frontier(&self, netlist: &Netlist, machine: &Machine) -> Option<GateId> {
+        for &gate_id in &self.order {
+            let gate = netlist.gate(gate_id);
+            let good_out = machine.good[gate.output.index()];
+            let faulty_out = machine.faulty[gate.output.index()];
+            if good_out.is_known() && faulty_out.is_known() {
+                continue;
+            }
+            let has_effect = gate.inputs.iter().any(|&n| {
+                let good = machine.good[n.index()];
+                let faulty = machine.faulty[n.index()];
+                good.is_known() && faulty.is_known() && good != faulty
+            });
+            if has_effect {
+                return Some(gate_id);
+            }
+        }
+        None
+    }
+
+    /// Maps an internal objective to a primary-input assignment by walking
+    /// backwards through unknown gate inputs.
+    fn backtrace(
+        &self,
+        netlist: &Netlist,
+        machine: &Machine,
+        objective_net: NetId,
+        objective_value: bool,
+    ) -> Option<(usize, bool)> {
+        let mut net = objective_net;
+        let mut value = objective_value;
+        loop {
+            if let Some(position) = self.input_position[net.index()] {
+                // Don't re-assign an already decided input.
+                if machine.good[net.index()] != Logic::X {
+                    return None;
+                }
+                return Some((position, value));
+            }
+            let driver = netlist.driver_gate(net)?;
+            let gate = netlist.gate(driver);
+            let unknown_input = gate
+                .inputs
+                .iter()
+                .copied()
+                .find(|&n| machine.good[n.index()] == Logic::X)?;
+            if gate.kind.is_inverting() {
+                value = !value;
+            }
+            // For a MUX the "natural" choice is to justify through the data
+            // input currently selected, but walking through any unknown
+            // input is sound because the decision is re-implied afterwards.
+            net = unknown_input;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scanpower_netlist::{bench, GateKind, Netlist};
+    use scanpower_sim::fault::{all_net_faults, FaultSim};
+
+    fn check_test_detects(netlist: &Netlist, fault: Fault, test: &[Logic]) -> bool {
+        // Fill X with 0 and fault-simulate the single pattern.
+        let pattern: Vec<bool> = test
+            .iter()
+            .map(|v| v.to_bool().unwrap_or(false))
+            .collect();
+        let sim = FaultSim::new(netlist);
+        sim.detect(netlist, &[fault], &[pattern])[0]
+    }
+
+    #[test]
+    fn generates_test_for_simple_fault() {
+        let mut n = Netlist::new("t");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let g = n.add_gate(GateKind::Nand, &[a, b], "g");
+        n.mark_output(g.output);
+        let podem = Podem::new(&n, 100);
+        let fault = Fault {
+            net: g.output,
+            stuck_at_one: false,
+        };
+        // Output stuck-at-0 requires output 1 => any input at 0.
+        match podem.generate(&n, fault) {
+            PodemOutcome::Test(test) => assert!(check_test_detects(&n, fault, &test)),
+            other => panic!("expected a test, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn redundant_fault_is_proved_untestable() {
+        // out = OR(a, NOT(a)) = constant 1: out/sa1 is untestable.
+        let mut n = Netlist::new("taut");
+        let a = n.add_input("a");
+        let inv = n.add_gate(GateKind::Not, &[a], "inv");
+        let or = n.add_gate(GateKind::Or, &[a, inv.output], "out");
+        n.mark_output(or.output);
+        let podem = Podem::new(&n, 1000);
+        let outcome = podem.generate(
+            &n,
+            Fault {
+                net: or.output,
+                stuck_at_one: true,
+            },
+        );
+        assert_eq!(outcome, PodemOutcome::Untestable);
+    }
+
+    #[test]
+    fn every_testable_fault_of_s27_gets_a_valid_test() {
+        let n = bench::parse(bench::S27_BENCH, "s27").unwrap();
+        let podem = Podem::new(&n, 500);
+        let faults = all_net_faults(&n);
+        let mut found = 0usize;
+        for fault in faults {
+            match podem.generate(&n, fault) {
+                PodemOutcome::Test(test) => {
+                    assert!(
+                        check_test_detects(&n, fault, &test),
+                        "invalid test for {}",
+                        fault.describe(&n)
+                    );
+                    found += 1;
+                }
+                PodemOutcome::Untestable => {}
+                PodemOutcome::Aborted => panic!("s27 should not need many backtracks"),
+            }
+        }
+        // s27 has 17 nets (34 net faults) and very few redundant ones;
+        // almost everything must receive a test.
+        assert!(found >= 28, "only {found} tests found");
+    }
+
+    #[test]
+    fn fault_on_pseudo_input_is_testable_through_the_scan_chain() {
+        let n = bench::parse(bench::S27_BENCH, "s27").unwrap();
+        let podem = Podem::new(&n, 500);
+        let q = n.pseudo_inputs()[0];
+        for stuck in [false, true] {
+            let fault = Fault {
+                net: q,
+                stuck_at_one: stuck,
+            };
+            match podem.generate(&n, fault) {
+                PodemOutcome::Test(test) => assert!(check_test_detects(&n, fault, &test)),
+                other => panic!("expected test for scan-cell fault, got {other:?}"),
+            }
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! Ablation A: the value of directing the controlled-input pattern search by
+//! leakage observability. Prints the scan-mode leakage achieved with and
+//! without the directive and benches both searches.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use scanpower_bench::bench_circuit;
+use scanpower_core::{ProposedMethod, ProposedOptions};
+
+fn ablation_directive(c: &mut Criterion) {
+    let circuit = bench_circuit("s641");
+
+    let directed_options = ProposedOptions {
+        leakage_directed: true,
+        reorder_inputs: false,
+        ..ProposedOptions::default()
+    };
+    let undirected_options = ProposedOptions {
+        leakage_directed: false,
+        reorder_inputs: false,
+        ..ProposedOptions::default()
+    };
+
+    let directed = ProposedMethod::new(directed_options.clone())
+        .apply(&circuit)
+        .expect("valid circuit");
+    let undirected = ProposedMethod::new(undirected_options.clone())
+        .apply(&circuit)
+        .expect("valid circuit");
+    println!(
+        "\nAblation A (leakage-observability directive), scaled s641:\n  directed   scan-mode leakage: {:.0} nA (blocked {}/{})\n  undirected scan-mode leakage: {:.0} nA (blocked {}/{})\n",
+        directed.scan_mode_leakage_na,
+        directed.pattern.stats.blocked_gates,
+        directed.pattern.stats.blocked_gates + directed.pattern.stats.unblocked_gates,
+        undirected.scan_mode_leakage_na,
+        undirected.pattern.stats.blocked_gates,
+        undirected.pattern.stats.blocked_gates + undirected.pattern.stats.unblocked_gates,
+    );
+
+    let mut group = c.benchmark_group("ablation_directive");
+    group.sample_size(10);
+    group.bench_function("directed", |b| {
+        b.iter(|| {
+            ProposedMethod::new(directed_options.clone())
+                .apply(&circuit)
+                .unwrap()
+        });
+    });
+    group.bench_function("undirected", |b| {
+        b.iter(|| {
+            ProposedMethod::new(undirected_options.clone())
+                .apply(&circuit)
+                .unwrap()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, ablation_directive);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Ablation C: how the power reduction scales with the fraction of scan
+//! cells that are allowed to take a multiplexer.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use scanpower_bench::{bench_circuit, bench_options_with, run_comparison};
+use scanpower_core::ProposedOptions;
+
+fn ablation_mux_coverage(c: &mut Criterion) {
+    let circuit = bench_circuit("s641");
+
+    println!("\nAblation C (MUX coverage sweep), scaled s641:");
+    println!(
+        "{:>10} {:>16} {:>12} {:>10} {:>10}",
+        "fraction", "dyn (uW/Hz)", "static (uW)", "dyn% vs T", "stat% vs T"
+    );
+    for fraction in [0.0, 0.5, 1.0] {
+        let row = run_comparison(
+            &circuit,
+            &bench_options_with(ProposedOptions {
+                mux_fraction: Some(fraction),
+                ..ProposedOptions::default()
+            }),
+        );
+        println!(
+            "{:>10.2} {:>16.4e} {:>12.2} {:>10.2} {:>10.2}",
+            fraction,
+            row.proposed.dynamic_per_hz_uw,
+            row.proposed.static_uw,
+            row.dynamic_improvement_vs_traditional(),
+            row.static_improvement_vs_traditional()
+        );
+    }
+    println!();
+
+    let mut group = c.benchmark_group("ablation_mux_coverage");
+    group.sample_size(10);
+    for fraction in [0.0, 1.0] {
+        group.bench_function(format!("fraction_{fraction}"), |b| {
+            let options = bench_options_with(ProposedOptions {
+                mux_fraction: Some(fraction),
+                ..ProposedOptions::default()
+            });
+            b.iter(|| run_comparison(&circuit, &options));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, ablation_mux_coverage);
+criterion_main!(benches);

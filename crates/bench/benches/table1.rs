@@ -1,0 +1,39 @@
+//! Table I reproduction bench: prints the per-circuit dynamic/static rows
+//! for the three scan structures and measures the runtime of the complete
+//! per-circuit flow (ATPG + planning + pattern search + power evaluation).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use scanpower_bench::{bench_circuit, bench_options, run_comparison, BENCH_CIRCUITS};
+use scanpower_core::experiment::Table1Report;
+
+fn table1(c: &mut Criterion) {
+    let options = bench_options();
+
+    // Print the reproduced rows once, so `cargo bench` output contains the
+    // same series the paper reports (on the scaled bench circuits).
+    let rows: Vec<_> = BENCH_CIRCUITS
+        .iter()
+        .map(|name| run_comparison(&bench_circuit(name), &options))
+        .collect();
+    let report = Table1Report { rows };
+    println!("\nTable I (scaled bench circuits)\n{}", report.to_table_string());
+    println!(
+        "average improvement vs traditional: dynamic {:.1}%, static {:.1}%\n",
+        report.average_dynamic_improvement(),
+        report.average_static_improvement()
+    );
+
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+    for name in BENCH_CIRCUITS {
+        let circuit = bench_circuit(name);
+        group.bench_function(*name, |b| {
+            b.iter(|| run_comparison(&circuit, &options));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, table1);
+criterion_main!(benches);

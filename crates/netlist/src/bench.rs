@@ -1,0 +1,308 @@
+//! Reader and writer for the ISCAS89 `.bench` netlist format.
+//!
+//! The format is line oriented:
+//!
+//! ```text
+//! # comment
+//! INPUT(G0)
+//! OUTPUT(G17)
+//! G5 = DFF(G10)
+//! G11 = NAND(G0, G5)
+//! G17 = NOT(G11)
+//! ```
+//!
+//! # Examples
+//!
+//! ```
+//! use scanpower_netlist::bench;
+//!
+//! let netlist = bench::parse(bench::S27_BENCH, "s27")?;
+//! assert_eq!(netlist.primary_inputs().len(), 4);
+//! assert_eq!(netlist.dff_count(), 3);
+//! let text = bench::to_bench(&netlist);
+//! let reparsed = bench::parse(&text, "s27")?;
+//! assert_eq!(reparsed.gate_count(), netlist.gate_count());
+//! # Ok::<(), scanpower_netlist::NetlistError>(())
+//! ```
+
+use crate::error::{NetlistError, Result};
+use crate::gate::GateKind;
+use crate::netlist::{NetDriver, Netlist};
+use crate::topo;
+
+/// The ISCAS89 `s27` benchmark, embedded for examples and tests.
+///
+/// This is the one ISCAS89 circuit small enough to reproduce verbatim; the
+/// larger circuits of Table I are substituted by [`crate::generator`].
+pub const S27_BENCH: &str = "\
+# s27 — smallest ISCAS89 benchmark
+INPUT(G0)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+OUTPUT(G17)
+G5 = DFF(G10)
+G6 = DFF(G11)
+G7 = DFF(G13)
+G14 = NOT(G0)
+G17 = NOT(G11)
+G8 = AND(G14, G6)
+G15 = OR(G12, G8)
+G16 = OR(G3, G8)
+G9 = NAND(G16, G15)
+G10 = NOR(G14, G11)
+G11 = NOR(G5, G9)
+G12 = NOR(G1, G7)
+G13 = NOR(G2, G12)
+";
+
+/// Parses `.bench` text into a [`Netlist`] named `name`.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::ParseBench`] on malformed lines,
+/// [`NetlistError::MultipleDrivers`] / [`NetlistError::InvalidFanin`] on
+/// structurally invalid definitions, and [`NetlistError::Validation`] /
+/// [`NetlistError::CombinationalCycle`] if the resulting netlist is not a
+/// well-formed full-scan circuit.
+pub fn parse(text: &str, name: &str) -> Result<Netlist> {
+    let mut netlist = Netlist::new(name);
+    let mut outputs = Vec::new();
+
+    for (line_index, raw_line) in text.lines().enumerate() {
+        let line_number = line_index + 1;
+        let line = raw_line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some(rest) = strip_directive(line, "INPUT") {
+            let net_name = parse_single_arg(rest, line_number)?;
+            netlist.add_input_checked(&net_name, line_number)?;
+        } else if let Some(rest) = strip_directive(line, "OUTPUT") {
+            let net_name = parse_single_arg(rest, line_number)?;
+            outputs.push(netlist.ensure_net(&net_name));
+        } else if let Some((target, definition)) = line.split_once('=') {
+            let target = target.trim();
+            if target.is_empty() {
+                return Err(NetlistError::ParseBench {
+                    line: line_number,
+                    message: "missing target net before `=`".into(),
+                });
+            }
+            let (function, args) = parse_call(definition.trim(), line_number)?;
+            let output = netlist.ensure_net(target);
+            if function.eq_ignore_ascii_case("DFF") {
+                if args.len() != 1 {
+                    return Err(NetlistError::ParseBench {
+                        line: line_number,
+                        message: format!("DFF takes exactly one input, got {}", args.len()),
+                    });
+                }
+                let d = netlist.ensure_net(&args[0]);
+                netlist.try_add_dff_driving(d, output)?;
+            } else {
+                let kind = GateKind::from_bench_name(&function).ok_or_else(|| {
+                    NetlistError::ParseBench {
+                        line: line_number,
+                        message: format!("unknown gate function `{function}`"),
+                    }
+                })?;
+                let inputs: Vec<_> = args.iter().map(|arg| netlist.ensure_net(arg)).collect();
+                netlist.try_add_gate_driving(kind, &inputs, output)?;
+            }
+        } else {
+            return Err(NetlistError::ParseBench {
+                line: line_number,
+                message: format!("unrecognised line `{line}`"),
+            });
+        }
+    }
+
+    for output in outputs {
+        netlist.mark_output(output);
+    }
+    netlist.validate()?;
+    Ok(netlist)
+}
+
+/// Serializes a netlist back to `.bench` text.
+///
+/// Gates are emitted in topological order so that the output is readable and
+/// deterministic; the format itself does not require any particular order.
+#[must_use]
+pub fn to_bench(netlist: &Netlist) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("# {}\n", netlist.name()));
+    for &input in netlist.primary_inputs() {
+        out.push_str(&format!("INPUT({})\n", netlist.net(input).name));
+    }
+    for &output in netlist.primary_outputs() {
+        out.push_str(&format!("OUTPUT({})\n", netlist.net(output).name));
+    }
+    for dff in netlist.dffs() {
+        out.push_str(&format!(
+            "{} = DFF({})\n",
+            netlist.net(dff.q).name,
+            netlist.net(dff.d).name
+        ));
+    }
+    let order = topo::topological_gates(netlist).unwrap_or_else(|_| netlist.gate_ids().collect());
+    for gate_id in order {
+        let gate = netlist.gate(gate_id);
+        let args: Vec<&str> = gate
+            .inputs
+            .iter()
+            .map(|&input| netlist.net(input).name.as_str())
+            .collect();
+        out.push_str(&format!(
+            "{} = {}({})\n",
+            netlist.net(gate.output).name,
+            gate.kind.bench_name(),
+            args.join(", ")
+        ));
+    }
+    out
+}
+
+fn strip_directive<'a>(line: &'a str, keyword: &str) -> Option<&'a str> {
+    let upper = line.to_ascii_uppercase();
+    if upper.starts_with(keyword) {
+        Some(line[keyword.len()..].trim())
+    } else {
+        None
+    }
+}
+
+fn parse_single_arg(rest: &str, line: usize) -> Result<String> {
+    let inner = rest
+        .strip_prefix('(')
+        .and_then(|s| s.strip_suffix(')'))
+        .ok_or_else(|| NetlistError::ParseBench {
+            line,
+            message: "expected `(name)`".into(),
+        })?;
+    let name = inner.trim();
+    if name.is_empty() {
+        return Err(NetlistError::ParseBench {
+            line,
+            message: "empty net name".into(),
+        });
+    }
+    Ok(name.to_owned())
+}
+
+fn parse_call(definition: &str, line: usize) -> Result<(String, Vec<String>)> {
+    let open = definition.find('(').ok_or_else(|| NetlistError::ParseBench {
+        line,
+        message: "expected `FUNC(args)`".into(),
+    })?;
+    if !definition.ends_with(')') {
+        return Err(NetlistError::ParseBench {
+            line,
+            message: "missing closing `)`".into(),
+        });
+    }
+    let function = definition[..open].trim().to_owned();
+    let args_str = &definition[open + 1..definition.len() - 1];
+    let args: Vec<String> = args_str
+        .split(',')
+        .map(|a| a.trim().to_owned())
+        .filter(|a| !a.is_empty())
+        .collect();
+    if function.is_empty() {
+        return Err(NetlistError::ParseBench {
+            line,
+            message: "missing gate function name".into(),
+        });
+    }
+    Ok((function, args))
+}
+
+impl Netlist {
+    fn add_input_checked(&mut self, name: &str, line: usize) -> Result<()> {
+        let id = self.ensure_net(name);
+        if !matches!(self.net(id).driver, NetDriver::None) {
+            return Err(NetlistError::ParseBench {
+                line,
+                message: format!("net `{name}` declared INPUT but already driven"),
+            });
+        }
+        // Re-declare through the public path to keep PI bookkeeping.
+        self.add_input(name);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_s27() {
+        let n = parse(S27_BENCH, "s27").unwrap();
+        assert_eq!(n.primary_inputs().len(), 4);
+        assert_eq!(n.primary_outputs().len(), 1);
+        assert_eq!(n.dff_count(), 3);
+        assert_eq!(n.gate_count(), 10);
+        assert!(n.validate().is_ok());
+    }
+
+    #[test]
+    fn round_trip_preserves_structure() {
+        let n = parse(S27_BENCH, "s27").unwrap();
+        let text = to_bench(&n);
+        let m = parse(&text, "s27").unwrap();
+        assert_eq!(m.gate_count(), n.gate_count());
+        assert_eq!(m.dff_count(), n.dff_count());
+        assert_eq!(m.primary_inputs().len(), n.primary_inputs().len());
+        assert_eq!(m.primary_outputs().len(), n.primary_outputs().len());
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let text = "# hi\n\nINPUT(a)\nOUTPUT(b)\nb = NOT(a)\n";
+        let n = parse(text, "tiny").unwrap();
+        assert_eq!(n.gate_count(), 1);
+    }
+
+    #[test]
+    fn unknown_function_is_an_error() {
+        let text = "INPUT(a)\nOUTPUT(b)\nb = FROB(a)\n";
+        let err = parse(text, "bad").unwrap_err();
+        assert!(matches!(err, NetlistError::ParseBench { line: 3, .. }));
+    }
+
+    #[test]
+    fn missing_parenthesis_is_an_error() {
+        let err = parse("INPUT a\n", "bad").unwrap_err();
+        assert!(matches!(err, NetlistError::ParseBench { line: 1, .. }));
+    }
+
+    #[test]
+    fn undriven_net_is_a_validation_error() {
+        let text = "INPUT(a)\nOUTPUT(b)\nb = AND(a, c)\n";
+        let err = parse(text, "bad").unwrap_err();
+        assert!(matches!(err, NetlistError::Validation(_)));
+    }
+
+    #[test]
+    fn double_driver_is_an_error() {
+        let text = "INPUT(a)\nOUTPUT(b)\nb = NOT(a)\nb = BUF(a)\n";
+        let err = parse(text, "bad").unwrap_err();
+        assert!(matches!(err, NetlistError::MultipleDrivers(_)));
+    }
+
+    #[test]
+    fn dff_with_wrong_arity_is_an_error() {
+        let text = "INPUT(a)\nOUTPUT(q)\nq = DFF(a, a)\n";
+        let err = parse(text, "bad").unwrap_err();
+        assert!(matches!(err, NetlistError::ParseBench { .. }));
+    }
+
+    #[test]
+    fn buff_alias_is_accepted() {
+        let text = "INPUT(a)\nOUTPUT(b)\nb = BUFF(a)\n";
+        let n = parse(text, "alias").unwrap();
+        assert_eq!(n.gate(n.driver_gate(n.net_by_name("b").unwrap()).unwrap()).kind, GateKind::Buf);
+    }
+}

@@ -1,0 +1,82 @@
+use std::fmt;
+
+/// Convenience alias for results produced by this crate.
+pub type Result<T> = std::result::Result<T, NetlistError>;
+
+/// Errors produced while building, parsing or transforming netlists.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NetlistError {
+    /// A net name was referenced before being declared or driven.
+    UnknownNet(String),
+    /// A net was driven by more than one gate or input.
+    MultipleDrivers(String),
+    /// A gate was built with an unsupported number of inputs.
+    InvalidFanin {
+        /// Gate kind being constructed.
+        kind: String,
+        /// Number of inputs supplied.
+        got: usize,
+    },
+    /// The `.bench` text could not be parsed.
+    ParseBench {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// Explanation of what went wrong.
+        message: String,
+    },
+    /// The combinational part of the netlist contains a cycle.
+    CombinationalCycle(String),
+    /// A circuit name passed to the generator is not in the ISCAS89 table.
+    UnknownCircuit(String),
+    /// The netlist failed a structural validation check.
+    Validation(String),
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::UnknownNet(name) => write!(f, "unknown net `{name}`"),
+            NetlistError::MultipleDrivers(name) => {
+                write!(f, "net `{name}` has more than one driver")
+            }
+            NetlistError::InvalidFanin { kind, got } => {
+                write!(f, "gate kind {kind} cannot have {got} inputs")
+            }
+            NetlistError::ParseBench { line, message } => {
+                write!(f, "bench parse error at line {line}: {message}")
+            }
+            NetlistError::CombinationalCycle(name) => {
+                write!(f, "combinational cycle detected through net `{name}`")
+            }
+            NetlistError::UnknownCircuit(name) => {
+                write!(f, "unknown ISCAS89 circuit `{name}`")
+            }
+            NetlistError::Validation(message) => write!(f, "netlist validation failed: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for NetlistError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let err = NetlistError::UnknownNet("n1".into());
+        assert_eq!(err.to_string(), "unknown net `n1`");
+        let err = NetlistError::ParseBench {
+            line: 4,
+            message: "missing `=`".into(),
+        };
+        assert!(err.to_string().contains("line 4"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NetlistError>();
+    }
+}

@@ -1,0 +1,47 @@
+//! Gate-level netlist substrate for the `scanpower` workspace.
+//!
+//! This crate provides everything the higher-level crates need to talk about
+//! circuits:
+//!
+//! * [`Netlist`], [`Gate`], [`GateKind`], [`NetId`], [`GateId`] — an indexed,
+//!   append-only gate-level netlist with explicit primary inputs, primary
+//!   outputs and D flip-flops (full-scan state elements).
+//! * [`bench`](crate::bench) — a reader and writer for the ISCAS89 `.bench`
+//!   format.
+//! * [`techmap`] — technology mapping onto the {NAND, NOR, INV} library used
+//!   by the paper.
+//! * [`topo`] — topological ordering, levelization and fan-out analysis of
+//!   the combinational part.
+//! * [`generator`] — deterministic synthetic circuits with the published
+//!   ISCAS89 size statistics (the substitution documented in `DESIGN.md`).
+//! * [`stats`] — circuit statistics used in reports.
+//!
+//! # Examples
+//!
+//! ```
+//! use scanpower_netlist::{GateKind, Netlist};
+//!
+//! let mut netlist = Netlist::new("toy");
+//! let a = netlist.add_input("a");
+//! let b = netlist.add_input("b");
+//! let g = netlist.add_gate(GateKind::Nand, &[a, b], "g");
+//! netlist.mark_output(g.output);
+//! assert_eq!(netlist.gate_count(), 1);
+//! assert_eq!(netlist.primary_inputs().len(), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bench;
+mod error;
+mod gate;
+pub mod generator;
+mod netlist;
+pub mod stats;
+pub mod techmap;
+pub mod topo;
+
+pub use error::{NetlistError, Result};
+pub use gate::{Gate, GateKind, GateOutput};
+pub use netlist::{DffCell, GateId, Net, NetDriver, NetId, Netlist};

@@ -1,0 +1,368 @@
+//! Technology mapping onto the paper's {NAND, NOR, INV} library.
+//!
+//! The paper maps every ISCAS89 circuit to a library containing only NAND
+//! gates, NOR gates and inverters before the power analysis. [`TechMapper`]
+//! rebuilds a netlist in that library (MUX cells and constants are kept
+//! because the proposed scan structure introduces them around the mapped
+//! logic).
+//!
+//! # Examples
+//!
+//! ```
+//! use scanpower_netlist::{bench, techmap::TechMapper};
+//!
+//! let original = bench::parse(bench::S27_BENCH, "s27")?;
+//! let mapped = TechMapper::new().map(&original)?;
+//! assert!(mapped.gates().iter().all(|g| g.kind.in_target_library()));
+//! # Ok::<(), scanpower_netlist::NetlistError>(())
+//! ```
+
+use std::collections::HashMap;
+
+use crate::error::Result;
+use crate::gate::GateKind;
+use crate::netlist::{NetId, Netlist};
+use crate::topo;
+
+/// Rewrites a netlist so that every combinational gate is a NAND, NOR or
+/// inverter (with bounded fanin).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TechMapper {
+    max_fanin: usize,
+}
+
+impl Default for TechMapper {
+    fn default() -> Self {
+        TechMapper::new()
+    }
+}
+
+impl TechMapper {
+    /// Creates a mapper with the default maximum fanin of 4 (NAND2–NAND4,
+    /// NOR2–NOR4, INV).
+    #[must_use]
+    pub fn new() -> TechMapper {
+        TechMapper { max_fanin: 4 }
+    }
+
+    /// Sets the maximum fanin of library NAND/NOR cells (at least 2).
+    #[must_use]
+    pub fn with_max_fanin(mut self, max_fanin: usize) -> TechMapper {
+        assert!(max_fanin >= 2, "library cells need at least 2 inputs");
+        self.max_fanin = max_fanin;
+        self
+    }
+
+    /// Maximum fanin of the mapped cells.
+    #[must_use]
+    pub fn max_fanin(&self) -> usize {
+        self.max_fanin
+    }
+
+    /// Maps `source` into a fresh netlist in the target library.
+    ///
+    /// Primary inputs, primary outputs and flip-flops keep their names; new
+    /// intermediate nets get a `__tm` suffix.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the source netlist is combinationally cyclic.
+    pub fn map(&self, source: &Netlist) -> Result<Netlist> {
+        let mut mapped = Mapping::new(source, self.max_fanin);
+        let order = topo::topological_gates(source)?;
+
+        for &input in source.primary_inputs() {
+            let new = mapped.target.add_input(&source.net(input).name);
+            mapped.net_map.insert(input, new);
+        }
+        // Pseudo-inputs (DFF Q nets) are sources for the combinational part;
+        // reserve their nets up front, drivers are attached at the end.
+        for dff in source.dffs() {
+            let q = mapped.target.ensure_net(&source.net(dff.q).name);
+            mapped.net_map.insert(dff.q, q);
+        }
+
+        for gate_id in order {
+            let gate = source.gate(gate_id);
+            let inputs: Vec<NetId> = gate.inputs.iter().map(|&n| mapped.mapped(n)).collect();
+            let out_name = source.net(gate.output).name.clone();
+            let out = match gate.kind {
+                GateKind::Buf => inputs[0],
+                GateKind::Not => mapped.inv(inputs[0], &out_name),
+                GateKind::Nand => mapped.nand_like(&inputs, &out_name),
+                GateKind::And => mapped.and_like(&inputs, &out_name),
+                GateKind::Nor => mapped.nor_like(&inputs, &out_name),
+                GateKind::Or => mapped.or_like(&inputs, &out_name),
+                GateKind::Xor => mapped.xor_tree(&inputs, &out_name, false),
+                GateKind::Xnor => mapped.xor_tree(&inputs, &out_name, true),
+                GateKind::Mux => mapped.mux(&inputs, &out_name),
+                GateKind::Const0 => mapped.constant(false, &out_name),
+                GateKind::Const1 => mapped.constant(true, &out_name),
+            };
+            mapped.net_map.insert(gate.output, out);
+        }
+
+        for &output in source.primary_outputs() {
+            let net = mapped.mapped(output);
+            mapped.target.mark_output(net);
+        }
+        for dff in source.dffs() {
+            let d = mapped.mapped(dff.d);
+            let q = mapped.mapped(dff.q);
+            mapped.target.try_add_dff_driving(d, q)?;
+        }
+        mapped.target.validate()?;
+        Ok(mapped.target)
+    }
+}
+
+struct Mapping<'a> {
+    source: &'a Netlist,
+    target: Netlist,
+    net_map: HashMap<NetId, NetId>,
+    counter: usize,
+    max_fanin: usize,
+}
+
+impl<'a> Mapping<'a> {
+    fn new(source: &'a Netlist, max_fanin: usize) -> Mapping<'a> {
+        Mapping {
+            source,
+            target: Netlist::new(source.name()),
+            net_map: HashMap::new(),
+            counter: 0,
+            max_fanin,
+        }
+    }
+
+    fn mapped(&self, net: NetId) -> NetId {
+        *self
+            .net_map
+            .get(&net)
+            .unwrap_or_else(|| panic!("net `{}` mapped out of order", self.source.net(net).name))
+    }
+
+    fn fresh_name(&mut self, base: &str) -> String {
+        self.counter += 1;
+        format!("{base}__tm{}", self.counter)
+    }
+
+    fn gate(&mut self, kind: GateKind, inputs: &[NetId], name: &str) -> NetId {
+        self.target.add_gate(kind, inputs, name).output
+    }
+
+    fn inv(&mut self, input: NetId, name: &str) -> NetId {
+        self.gate(GateKind::Not, &[input], name)
+    }
+
+    fn constant(&mut self, one: bool, name: &str) -> NetId {
+        let kind = if one { GateKind::Const1 } else { GateKind::Const0 };
+        self.gate(kind, &[], name)
+    }
+
+    /// AND of `inputs` built from NAND + INV with bounded fanin.
+    fn and_like(&mut self, inputs: &[NetId], name: &str) -> NetId {
+        if inputs.len() == 1 {
+            return inputs[0];
+        }
+        let nand_name = self.fresh_name(name);
+        let nand = self.nand_like(inputs, &nand_name);
+        self.inv(nand, name)
+    }
+
+    /// NAND of `inputs`, splitting into a tree when fanin exceeds the library
+    /// limit.
+    fn nand_like(&mut self, inputs: &[NetId], name: &str) -> NetId {
+        if inputs.len() == 1 {
+            return self.inv(inputs[0], name);
+        }
+        if inputs.len() <= self.max_fanin {
+            return self.gate(GateKind::Nand, inputs, name);
+        }
+        // Reduce the first `max_fanin` inputs to a single AND, then recurse.
+        let chunk = &inputs[..self.max_fanin];
+        let chunk_name = self.fresh_name(name);
+        let chunk_and = self.and_like(chunk, &chunk_name);
+        let mut rest = vec![chunk_and];
+        rest.extend_from_slice(&inputs[self.max_fanin..]);
+        self.nand_like(&rest, name)
+    }
+
+    /// OR of `inputs` built from NOR + INV with bounded fanin.
+    fn or_like(&mut self, inputs: &[NetId], name: &str) -> NetId {
+        if inputs.len() == 1 {
+            return inputs[0];
+        }
+        let nor_name = self.fresh_name(name);
+        let nor = self.nor_like(inputs, &nor_name);
+        self.inv(nor, name)
+    }
+
+    /// NOR of `inputs`, splitting into a tree when fanin exceeds the library
+    /// limit.
+    fn nor_like(&mut self, inputs: &[NetId], name: &str) -> NetId {
+        if inputs.len() == 1 {
+            return self.inv(inputs[0], name);
+        }
+        if inputs.len() <= self.max_fanin {
+            return self.gate(GateKind::Nor, inputs, name);
+        }
+        let chunk = &inputs[..self.max_fanin];
+        let chunk_name = self.fresh_name(name);
+        let chunk_or = self.or_like(chunk, &chunk_name);
+        let mut rest = vec![chunk_or];
+        rest.extend_from_slice(&inputs[self.max_fanin..]);
+        self.nor_like(&rest, name)
+    }
+
+    /// XOR (or XNOR when `invert`) folded pairwise into the classic 4-NAND
+    /// structure.
+    fn xor_tree(&mut self, inputs: &[NetId], name: &str, invert: bool) -> NetId {
+        let mut acc = inputs[0];
+        for (i, &next) in inputs.iter().enumerate().skip(1) {
+            let last = i == inputs.len() - 1 && !invert;
+            let stage_name = if last {
+                name.to_owned()
+            } else {
+                self.fresh_name(name)
+            };
+            acc = self.xor2(acc, next, &stage_name);
+        }
+        if invert {
+            acc = self.inv(acc, name);
+        }
+        acc
+    }
+
+    fn xor2(&mut self, a: NetId, b: NetId, name: &str) -> NetId {
+        let n1_name = self.fresh_name(name);
+        let n1 = self.gate(GateKind::Nand, &[a, b], &n1_name);
+        let n2_name = self.fresh_name(name);
+        let n2 = self.gate(GateKind::Nand, &[a, n1], &n2_name);
+        let n3_name = self.fresh_name(name);
+        let n3 = self.gate(GateKind::Nand, &[b, n1], &n3_name);
+        self.gate(GateKind::Nand, &[n2, n3], name)
+    }
+
+    /// MUX(select, a, b) = NAND(NAND(a, !s), NAND(b, s)).
+    fn mux(&mut self, inputs: &[NetId], name: &str) -> NetId {
+        let (select, a, b) = (inputs[0], inputs[1], inputs[2]);
+        let ns_name = self.fresh_name(name);
+        let not_select = self.inv(select, &ns_name);
+        let a_name = self.fresh_name(name);
+        let a_branch = self.gate(GateKind::Nand, &[a, not_select], &a_name);
+        let b_name = self.fresh_name(name);
+        let b_branch = self.gate(GateKind::Nand, &[b, select], &b_name);
+        self.gate(GateKind::Nand, &[a_branch, b_branch], name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bench;
+    use crate::gate::GateKind;
+
+    fn exhaustive_equivalent(original: &Netlist, mapped: &Netlist) -> bool {
+        // Compare combinational functions over all input assignments for the
+        // (small) test circuits, evaluating both netlists with plain booleans.
+        let inputs_a = original.combinational_inputs();
+        let inputs_b = mapped.combinational_inputs();
+        assert_eq!(inputs_a.len(), inputs_b.len());
+        let width = inputs_a.len();
+        assert!(width <= 12, "exhaustive check only for small circuits");
+        for assignment in 0u32..(1 << width) {
+            let values_a = eval(original, &inputs_a, assignment);
+            let values_b = eval(mapped, &inputs_b, assignment);
+            for (po_a, po_b) in original
+                .primary_outputs()
+                .iter()
+                .zip(mapped.primary_outputs())
+            {
+                if values_a[po_a.index()] != values_b[po_b.index()] {
+                    return false;
+                }
+            }
+            for (dff_a, dff_b) in original.dffs().iter().zip(mapped.dffs()) {
+                if values_a[dff_a.d.index()] != values_b[dff_b.d.index()] {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    fn eval(netlist: &Netlist, inputs: &[NetId], assignment: u32) -> Vec<bool> {
+        let mut values = vec![false; netlist.net_count()];
+        for (bit, &input) in inputs.iter().enumerate() {
+            values[input.index()] = (assignment >> bit) & 1 == 1;
+        }
+        for gate_id in topo::topological_gates(netlist).unwrap() {
+            let gate = netlist.gate(gate_id);
+            let ins: Vec<bool> = gate.inputs.iter().map(|&n| values[n.index()]).collect();
+            values[gate.output.index()] = gate.kind.eval(&ins);
+        }
+        values
+    }
+
+    #[test]
+    fn s27_maps_to_target_library_and_stays_equivalent() {
+        let original = bench::parse(bench::S27_BENCH, "s27").unwrap();
+        let mapped = TechMapper::new().map(&original).unwrap();
+        assert!(mapped.gates().iter().all(|g| g.kind.in_target_library()));
+        assert!(exhaustive_equivalent(&original, &mapped));
+    }
+
+    #[test]
+    fn wide_gates_are_split() {
+        let mut n = Netlist::new("wide");
+        let inputs: Vec<NetId> = (0..7).map(|i| n.add_input(&format!("i{i}"))).collect();
+        let g = n.add_gate(GateKind::And, &inputs, "out");
+        n.mark_output(g.output);
+        let mapped = TechMapper::new().with_max_fanin(3).map(&n).unwrap();
+        assert!(mapped
+            .gates()
+            .iter()
+            .all(|g| g.fanin() <= 3 && g.kind.in_target_library()));
+        assert!(exhaustive_equivalent(&n, &mapped));
+    }
+
+    #[test]
+    fn xor_and_xnor_are_mapped_correctly() {
+        let mut n = Netlist::new("parity");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let c = n.add_input("c");
+        let x = n.add_gate(GateKind::Xor, &[a, b, c], "x");
+        let y = n.add_gate(GateKind::Xnor, &[a, b], "y");
+        n.mark_output(x.output);
+        n.mark_output(y.output);
+        let mapped = TechMapper::new().map(&n).unwrap();
+        assert!(exhaustive_equivalent(&n, &mapped));
+    }
+
+    #[test]
+    fn mux_is_mapped_correctly() {
+        let mut n = Netlist::new("mux");
+        let s = n.add_input("s");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let m = n.add_gate(GateKind::Mux, &[s, a, b], "m");
+        n.mark_output(m.output);
+        let mapped = TechMapper::new().map(&n).unwrap();
+        assert!(exhaustive_equivalent(&n, &mapped));
+        assert!(mapped.gates().iter().all(|g| g.kind.in_target_library()));
+    }
+
+    #[test]
+    fn buffers_are_removed() {
+        let mut n = Netlist::new("buf");
+        let a = n.add_input("a");
+        let b = n.add_gate(GateKind::Buf, &[a], "b");
+        let c = n.add_gate(GateKind::Not, &[b.output], "c");
+        n.mark_output(c.output);
+        let mapped = TechMapper::new().map(&n).unwrap();
+        assert_eq!(mapped.gate_count(), 1);
+        assert!(exhaustive_equivalent(&n, &mapped));
+    }
+}

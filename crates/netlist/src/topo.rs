@@ -1,0 +1,243 @@
+//! Topological analysis of the combinational part of a [`Netlist`].
+//!
+//! Flip-flops break all sequential loops: their Q nets are treated as sources
+//! (pseudo-inputs) and their D nets as sinks (pseudo-outputs), so the gates
+//! between them must form a DAG. All procedures of the paper (STA, leakage
+//! observability, the TNS/TGS worklist) traverse the circuit in topological
+//! or reverse-topological order.
+
+use std::collections::VecDeque;
+
+use crate::error::{NetlistError, Result};
+use crate::netlist::{GateId, NetId, Netlist};
+
+/// Returns the combinational gates of `netlist` in topological order
+/// (inputs before the gates that read them).
+///
+/// # Errors
+///
+/// Returns [`NetlistError::CombinationalCycle`] if the combinational part is
+/// not a DAG.
+pub fn topological_gates(netlist: &Netlist) -> Result<Vec<GateId>> {
+    let mut remaining_fanin: Vec<usize> = netlist
+        .gates()
+        .iter()
+        .map(|gate| {
+            gate.inputs
+                .iter()
+                .filter(|&&input| netlist.driver_gate(input).is_some())
+                .count()
+        })
+        .collect();
+
+    let mut ready: VecDeque<GateId> = netlist
+        .gate_ids()
+        .filter(|&g| remaining_fanin[g.index()] == 0)
+        .collect();
+    let mut order = Vec::with_capacity(netlist.gate_count());
+
+    while let Some(gate) = ready.pop_front() {
+        order.push(gate);
+        let output = netlist.gate(gate).output;
+        for &(load, _pin) in netlist.loads(output) {
+            remaining_fanin[load.index()] -= 1;
+            if remaining_fanin[load.index()] == 0 {
+                ready.push_back(load);
+            }
+        }
+    }
+
+    if order.len() != netlist.gate_count() {
+        let culprit = netlist
+            .gate_ids()
+            .find(|&g| remaining_fanin[g.index()] > 0)
+            .map(|g| netlist.gate(g).name.clone())
+            .unwrap_or_default();
+        return Err(NetlistError::CombinationalCycle(culprit));
+    }
+    Ok(order)
+}
+
+/// Logic level of every gate: combinational inputs are level 0 and each gate
+/// is one more than the maximum level of its input drivers.
+///
+/// # Errors
+///
+/// Propagates [`NetlistError::CombinationalCycle`] from the topological sort.
+pub fn gate_levels(netlist: &Netlist) -> Result<Vec<usize>> {
+    let order = topological_gates(netlist)?;
+    let mut net_level = vec![0usize; netlist.net_count()];
+    let mut levels = vec![0usize; netlist.gate_count()];
+    for gate_id in order {
+        let gate = netlist.gate(gate_id);
+        let level = gate
+            .inputs
+            .iter()
+            .map(|&input| net_level[input.index()])
+            .max()
+            .unwrap_or(0)
+            + 1;
+        levels[gate_id.index()] = level;
+        net_level[gate.output.index()] = level;
+    }
+    Ok(levels)
+}
+
+/// Maximum logic depth of the combinational part (0 for a circuit with no
+/// gates).
+///
+/// # Errors
+///
+/// Propagates [`NetlistError::CombinationalCycle`] from the levelization.
+pub fn logic_depth(netlist: &Netlist) -> Result<usize> {
+    Ok(gate_levels(netlist)?.into_iter().max().unwrap_or(0))
+}
+
+/// Returns the gates in the transitive fan-out cone of `net` (the gates whose
+/// output can be affected by a change on `net`), in breadth-first order.
+#[must_use]
+pub fn fanout_cone(netlist: &Netlist, net: NetId) -> Vec<GateId> {
+    let mut visited = vec![false; netlist.gate_count()];
+    let mut queue: VecDeque<GateId> = netlist.loads(net).iter().map(|&(g, _)| g).collect();
+    let mut cone = Vec::new();
+    while let Some(gate) = queue.pop_front() {
+        if visited[gate.index()] {
+            continue;
+        }
+        visited[gate.index()] = true;
+        cone.push(gate);
+        let output = netlist.gate(gate).output;
+        for &(load, _) in netlist.loads(output) {
+            if !visited[load.index()] {
+                queue.push_back(load);
+            }
+        }
+    }
+    cone
+}
+
+/// Returns the gates in the transitive fan-in cone of `net` (the gates whose
+/// output can influence `net`), in breadth-first order from the net backwards.
+#[must_use]
+pub fn fanin_cone(netlist: &Netlist, net: NetId) -> Vec<GateId> {
+    let mut visited = vec![false; netlist.gate_count()];
+    let mut queue = VecDeque::new();
+    if let Some(driver) = netlist.driver_gate(net) {
+        queue.push_back(driver);
+    }
+    let mut cone = Vec::new();
+    while let Some(gate) = queue.pop_front() {
+        if visited[gate.index()] {
+            continue;
+        }
+        visited[gate.index()] = true;
+        cone.push(gate);
+        for &input in &netlist.gate(gate).inputs {
+            if let Some(driver) = netlist.driver_gate(input) {
+                if !visited[driver.index()] {
+                    queue.push_back(driver);
+                }
+            }
+        }
+    }
+    cone
+}
+
+/// Returns the set of controlled inputs (primary inputs plus the given subset
+/// of pseudo-inputs) that are in the transitive fan-in of `net`.
+#[must_use]
+pub fn supporting_inputs(netlist: &Netlist, net: NetId) -> Vec<NetId> {
+    let cone = fanin_cone(netlist, net);
+    let mut in_cone = vec![false; netlist.net_count()];
+    in_cone[net.index()] = true;
+    for gate in &cone {
+        for &input in &netlist.gate(*gate).inputs {
+            in_cone[input.index()] = true;
+        }
+    }
+    netlist
+        .combinational_inputs()
+        .into_iter()
+        .filter(|input| in_cone[input.index()])
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate::GateKind;
+
+    fn chain() -> Netlist {
+        // a -> NOT -> NAND(a, .) -> NOR(b, .) -> out
+        let mut n = Netlist::new("chain");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let g1 = n.add_gate(GateKind::Not, &[a], "g1");
+        let g2 = n.add_gate(GateKind::Nand, &[a, g1.output], "g2");
+        let g3 = n.add_gate(GateKind::Nor, &[b, g2.output], "g3");
+        n.mark_output(g3.output);
+        n
+    }
+
+    #[test]
+    fn topological_order_respects_dependencies() {
+        let n = chain();
+        let order = topological_gates(&n).unwrap();
+        assert_eq!(order.len(), 3);
+        let pos = |name: &str| {
+            let gate = n.driver_gate(n.net_by_name(name).unwrap()).unwrap();
+            order.iter().position(|&g| g == gate).unwrap()
+        };
+        assert!(pos("g1") < pos("g2"));
+        assert!(pos("g2") < pos("g3"));
+    }
+
+    #[test]
+    fn levels_and_depth() {
+        let n = chain();
+        assert_eq!(logic_depth(&n).unwrap(), 3);
+        let levels = gate_levels(&n).unwrap();
+        let level_of = |name: &str| {
+            let gate = n.driver_gate(n.net_by_name(name).unwrap()).unwrap();
+            levels[gate.index()]
+        };
+        assert_eq!(level_of("g1"), 1);
+        assert_eq!(level_of("g2"), 2);
+        assert_eq!(level_of("g3"), 3);
+    }
+
+    #[test]
+    fn dff_breaks_cycles() {
+        // q feeds a gate whose output feeds back into the dff: sequential
+        // loop, but combinationally acyclic.
+        let mut n = Netlist::new("loopy");
+        let a = n.add_input("a");
+        let q = n.ensure_net("q");
+        let g = n.add_gate(GateKind::Nand, &[a, q], "g");
+        n.try_add_dff_driving(g.output, q).unwrap();
+        n.mark_output(g.output);
+        assert!(topological_gates(&n).is_ok());
+        assert!(n.validate().is_ok());
+    }
+
+    #[test]
+    fn fanout_and_fanin_cones() {
+        let n = chain();
+        let a = n.net_by_name("a").unwrap();
+        let cone = fanout_cone(&n, a);
+        assert_eq!(cone.len(), 3);
+        let out = n.net_by_name("g3").unwrap();
+        let fin = fanin_cone(&n, out);
+        assert_eq!(fin.len(), 3);
+        let support = supporting_inputs(&n, out);
+        assert_eq!(support.len(), 2);
+    }
+
+    #[test]
+    fn support_of_single_gate_output() {
+        let n = chain();
+        let g1 = n.net_by_name("g1").unwrap();
+        let support = supporting_inputs(&n, g1);
+        assert_eq!(support, vec![n.net_by_name("a").unwrap()]);
+    }
+}

@@ -1,0 +1,217 @@
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use scanpower_netlist::Netlist;
+use scanpower_sim::{Evaluator, Logic};
+
+use crate::leakage::LeakageEstimator;
+
+/// Simulation-based minimum-leakage input vector search (input vector
+/// control, Halter & Najm style).
+///
+/// The paper uses this twice: \[14\]/\[15\]-style IVC is the state of the art
+/// it builds on, and the proposed flow uses the same random-sampling search
+/// to assign the controlled inputs that are still don't-care after
+/// `FindControlledInputPattern()` finishes ("the number of the required
+/// simulations is far less than the total possible vectors").
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InputVectorControl {
+    /// Number of random completions to evaluate.
+    pub samples: usize,
+    /// RNG seed (the search is deterministic for a given seed).
+    pub seed: u64,
+}
+
+impl Default for InputVectorControl {
+    fn default() -> Self {
+        InputVectorControl {
+            samples: 256,
+            seed: 0x5ca9_90e5,
+        }
+    }
+}
+
+impl InputVectorControl {
+    /// Creates a search with the default sample budget.
+    #[must_use]
+    pub fn new() -> InputVectorControl {
+        InputVectorControl::default()
+    }
+
+    /// Creates a search with an explicit sample budget and seed.
+    #[must_use]
+    pub fn with_budget(samples: usize, seed: u64) -> InputVectorControl {
+        InputVectorControl { samples, seed }
+    }
+
+    /// Finds a low-leakage completion of `template`.
+    ///
+    /// `template` has one entry per combinational input (primary inputs then
+    /// pseudo-inputs, the order of [`Evaluator::inputs`]); positions holding
+    /// [`Logic::X`] are free and will be assigned, known positions are kept.
+    /// Returns the best complete vector found and its leakage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `template` has the wrong width.
+    #[must_use]
+    pub fn search(
+        &self,
+        netlist: &Netlist,
+        estimator: &LeakageEstimator,
+        template: &[Logic],
+    ) -> IvcResult {
+        let free: Vec<usize> = template
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| !v.is_known())
+            .map(|(i, _)| i)
+            .collect();
+        self.search_subset(netlist, estimator, template, &free)
+    }
+
+    /// Like [`InputVectorControl::search`], but only the listed positions are
+    /// assigned; any other [`Logic::X`] position is left unknown (the leakage
+    /// estimator averages over it). The proposed flow uses this to fill the
+    /// don't-care *controlled* inputs while the non-multiplexed scan cells
+    /// stay unknown.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `template` has the wrong width.
+    #[must_use]
+    pub fn search_subset(
+        &self,
+        netlist: &Netlist,
+        estimator: &LeakageEstimator,
+        template: &[Logic],
+        free: &[usize],
+    ) -> IvcResult {
+        let evaluator = Evaluator::new(netlist);
+        assert_eq!(
+            template.len(),
+            evaluator.inputs().len(),
+            "one template entry per combinational input"
+        );
+        let free: Vec<usize> = free
+            .iter()
+            .copied()
+            .filter(|&i| !template[i].is_known())
+            .collect();
+
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+        let mut best_vector: Option<Vec<Logic>> = None;
+        let mut best_leakage = f64::INFINITY;
+        let mut evaluated = 0usize;
+
+        let mut consider = |candidate: Vec<Logic>, evaluated: &mut usize| {
+            let values = evaluator.evaluate(netlist, &candidate);
+            let leakage = estimator.circuit_leakage(netlist, &values);
+            *evaluated += 1;
+            if leakage < best_leakage {
+                best_leakage = leakage;
+                best_vector = Some(candidate);
+            }
+        };
+
+        // Deterministic corner candidates first: all-zero and all-one fills.
+        for fill in [Logic::Zero, Logic::One] {
+            let mut candidate = template.to_vec();
+            for &i in &free {
+                candidate[i] = fill;
+            }
+            consider(candidate, &mut evaluated);
+        }
+        // Random completions.
+        let random_budget = self.samples.saturating_sub(2).min(1usize << free.len().min(20));
+        for _ in 0..random_budget {
+            let mut candidate = template.to_vec();
+            for &i in &free {
+                candidate[i] = Logic::from_bool(rng.gen_bool(0.5));
+            }
+            consider(candidate, &mut evaluated);
+        }
+
+        IvcResult {
+            pattern: best_vector.expect("at least the corner candidates were evaluated"),
+            leakage_na: best_leakage,
+            evaluated,
+        }
+    }
+}
+
+/// Result of a minimum-leakage vector search.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IvcResult {
+    /// The best (lowest-leakage) complete input vector found, in
+    /// combinational-input order.
+    pub pattern: Vec<Logic>,
+    /// Leakage current of the circuit under that vector (nA).
+    pub leakage_na: f64,
+    /// Number of vectors simulated during the search.
+    pub evaluated: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::leakage::LeakageLibrary;
+    use scanpower_netlist::bench;
+
+    #[test]
+    fn search_respects_fixed_positions() {
+        let n = bench::parse(bench::S27_BENCH, "s27").unwrap();
+        let library = LeakageLibrary::cmos45();
+        let estimator = LeakageEstimator::new(&n, &library);
+        let width = n.combinational_inputs().len();
+        let mut template = vec![Logic::X; width];
+        template[0] = Logic::One;
+        template[3] = Logic::Zero;
+        let result = InputVectorControl::with_budget(64, 1).search(&n, &estimator, &template);
+        assert_eq!(result.pattern[0], Logic::One);
+        assert_eq!(result.pattern[3], Logic::Zero);
+        assert!(result.pattern.iter().all(|v| v.is_known()));
+        assert!(result.leakage_na > 0.0);
+    }
+
+    #[test]
+    fn search_is_no_worse_than_the_corner_vectors() {
+        let n = bench::parse(bench::S27_BENCH, "s27").unwrap();
+        let library = LeakageLibrary::cmos45();
+        let estimator = LeakageEstimator::new(&n, &library);
+        let width = n.combinational_inputs().len();
+        let evaluator = Evaluator::new(&n);
+        let zeros = estimator
+            .circuit_leakage(&n, &evaluator.evaluate(&n, &vec![Logic::Zero; width]));
+        let ones =
+            estimator.circuit_leakage(&n, &evaluator.evaluate(&n, &vec![Logic::One; width]));
+        let result =
+            InputVectorControl::with_budget(128, 2).search(&n, &estimator, &vec![Logic::X; width]);
+        assert!(result.leakage_na <= zeros.min(ones) + 1e-9);
+    }
+
+    #[test]
+    fn more_samples_never_hurt() {
+        let n = bench::parse(bench::S27_BENCH, "s27").unwrap();
+        let library = LeakageLibrary::cmos45();
+        let estimator = LeakageEstimator::new(&n, &library);
+        let width = n.combinational_inputs().len();
+        let template = vec![Logic::X; width];
+        let small = InputVectorControl::with_budget(8, 7).search(&n, &estimator, &template);
+        let large = InputVectorControl::with_budget(512, 7).search(&n, &estimator, &template);
+        assert!(large.leakage_na <= small.leakage_na + 1e-9);
+        assert!(large.evaluated >= small.evaluated);
+    }
+
+    #[test]
+    fn fully_specified_template_is_returned_unchanged() {
+        let n = bench::parse(bench::S27_BENCH, "s27").unwrap();
+        let library = LeakageLibrary::cmos45();
+        let estimator = LeakageEstimator::new(&n, &library);
+        let width = n.combinational_inputs().len();
+        let template = vec![Logic::One; width];
+        let result = InputVectorControl::new().search(&n, &estimator, &template);
+        assert_eq!(result.pattern, template);
+    }
+}

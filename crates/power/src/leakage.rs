@@ -1,0 +1,304 @@
+use serde::{Deserialize, Serialize};
+
+use scanpower_netlist::{GateId, GateKind, Netlist};
+use scanpower_sim::Logic;
+
+use crate::model::{self, LeakageParams, VDD};
+
+/// Per-gate-type, per-input-state leakage tables (the paper's "several
+/// tables containing the leakage of each gate for a given input pattern").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LeakageLibrary {
+    params: LeakageParams,
+    supply: f64,
+}
+
+impl Default for LeakageLibrary {
+    fn default() -> Self {
+        LeakageLibrary::cmos45()
+    }
+}
+
+impl LeakageLibrary {
+    /// The default 45 nm / 0.9 V library, calibrated so the NAND2 table
+    /// matches Figure 2 of the paper.
+    #[must_use]
+    pub fn cmos45() -> LeakageLibrary {
+        LeakageLibrary {
+            params: LeakageParams::cmos45(),
+            supply: VDD,
+        }
+    }
+
+    /// Builds a library from explicit model parameters.
+    #[must_use]
+    pub fn with_params(params: LeakageParams, supply: f64) -> LeakageLibrary {
+        LeakageLibrary { params, supply }
+    }
+
+    /// Supply voltage used to convert currents to power (volts).
+    #[must_use]
+    pub fn supply(&self) -> f64 {
+        self.supply
+    }
+
+    /// Model parameters backing the library.
+    #[must_use]
+    pub fn params(&self) -> &LeakageParams {
+        &self.params
+    }
+
+    /// Leakage current (nA) of a gate of the given kind and fanin in input
+    /// state `state` (bit `i` = value of pin `i`).
+    #[must_use]
+    pub fn gate_leakage(&self, kind: GateKind, fanin: usize, state: u32) -> f64 {
+        model::gate_leakage(&self.params, kind, fanin, state)
+    }
+
+    /// The full per-state table of a gate (length `2^fanin`).
+    #[must_use]
+    pub fn gate_table(&self, kind: GateKind, fanin: usize) -> Vec<f64> {
+        (0..(1u32 << fanin))
+            .map(|state| self.gate_leakage(kind, fanin, state))
+            .collect()
+    }
+
+    /// The input state with minimum leakage for a gate.
+    #[must_use]
+    pub fn best_state(&self, kind: GateKind, fanin: usize) -> u32 {
+        (0..(1u32 << fanin))
+            .min_by(|&a, &b| {
+                self.gate_leakage(kind, fanin, a)
+                    .total_cmp(&self.gate_leakage(kind, fanin, b))
+            })
+            .unwrap_or(0)
+    }
+
+    /// Converts a leakage current in nanoamperes to static power in
+    /// microwatts at the library supply (`P = I · V_DD`, Equation (5)).
+    #[must_use]
+    pub fn current_to_power_uw(&self, nanoamps: f64) -> f64 {
+        nanoamps * 1e-9 * self.supply * 1e6
+    }
+}
+
+/// Circuit-level leakage estimator with per-gate cached tables.
+///
+/// The estimator is built once per netlist (the tables depend only on gate
+/// kinds and fanins) and can then evaluate the total leakage of any circuit
+/// state cheaply — including partially-specified states, where unknown
+/// inputs are averaged over.
+#[derive(Debug, Clone)]
+pub struct LeakageEstimator {
+    tables: Vec<Vec<f64>>,
+    library: LeakageLibrary,
+}
+
+impl LeakageEstimator {
+    /// Builds the estimator for `netlist` using `library`.
+    #[must_use]
+    pub fn new(netlist: &Netlist, library: &LeakageLibrary) -> LeakageEstimator {
+        let tables = netlist
+            .gates()
+            .iter()
+            .map(|gate| library.gate_table(gate.kind, gate.fanin()))
+            .collect();
+        LeakageEstimator {
+            tables,
+            library: library.clone(),
+        }
+    }
+
+    /// The library the estimator was built from.
+    #[must_use]
+    pub fn library(&self) -> &LeakageLibrary {
+        &self.library
+    }
+
+    /// Leakage current (nA) of a single gate given the current per-net
+    /// values. Unknown inputs are averaged over both values.
+    #[must_use]
+    pub fn gate_leakage(&self, netlist: &Netlist, gate: GateId, values: &[Logic]) -> f64 {
+        let table = &self.tables[gate.index()];
+        let g = netlist.gate(gate);
+        let mut base_state = 0u32;
+        let mut unknown_pins: Vec<usize> = Vec::new();
+        for (pin, &input) in g.inputs.iter().enumerate() {
+            match values[input.index()] {
+                Logic::One => base_state |= 1 << pin,
+                Logic::Zero => {}
+                Logic::X => unknown_pins.push(pin),
+            }
+        }
+        if unknown_pins.is_empty() {
+            return table[base_state as usize];
+        }
+        // Average over every completion of the unknown pins.
+        let combinations = 1u32 << unknown_pins.len();
+        let mut total = 0.0;
+        for completion in 0..combinations {
+            let mut state = base_state;
+            for (bit, &pin) in unknown_pins.iter().enumerate() {
+                if (completion >> bit) & 1 == 1 {
+                    state |= 1 << pin;
+                }
+            }
+            total += table[state as usize];
+        }
+        total / f64::from(combinations)
+    }
+
+    /// Total leakage current (nA) of the combinational part of the circuit
+    /// in the state described by `values` (one [`Logic`] per net, indexed by
+    /// net id, as produced by the simulators).
+    #[must_use]
+    pub fn circuit_leakage(&self, netlist: &Netlist, values: &[Logic]) -> f64 {
+        netlist
+            .gate_ids()
+            .map(|gate| self.gate_leakage(netlist, gate, values))
+            .sum()
+    }
+
+    /// Total static power (µW) of the circuit in the given state
+    /// (Equation (5): `P_sub = Σ I_sub,i · V_DD`).
+    #[must_use]
+    pub fn circuit_power_uw(&self, netlist: &Netlist, values: &[Logic]) -> f64 {
+        self.library
+            .current_to_power_uw(self.circuit_leakage(netlist, values))
+    }
+}
+
+/// Running average of leakage over a sequence of observed circuit states
+/// (used while replaying scan-shift cycles).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct LeakageAverage {
+    total_na: f64,
+    samples: usize,
+}
+
+impl LeakageAverage {
+    /// Creates an empty accumulator.
+    #[must_use]
+    pub fn new() -> LeakageAverage {
+        LeakageAverage::default()
+    }
+
+    /// Adds one observed state's leakage (nA).
+    pub fn add(&mut self, leakage_na: f64) {
+        self.total_na += leakage_na;
+        self.samples += 1;
+    }
+
+    /// Number of accumulated samples.
+    #[must_use]
+    pub fn samples(&self) -> usize {
+        self.samples
+    }
+
+    /// Average leakage current (nA); 0 when no samples were added.
+    #[must_use]
+    pub fn average_na(&self) -> f64 {
+        if self.samples == 0 {
+            0.0
+        } else {
+            self.total_na / self.samples as f64
+        }
+    }
+
+    /// Average static power (µW) using the supply of `library`.
+    #[must_use]
+    pub fn average_uw(&self, library: &LeakageLibrary) -> f64 {
+        library.current_to_power_uw(self.average_na())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scanpower_netlist::{bench, GateKind, Netlist};
+    use scanpower_sim::Evaluator;
+
+    #[test]
+    fn library_reproduces_figure_2() {
+        let library = LeakageLibrary::cmos45();
+        let table = library.gate_table(GateKind::Nand, 2);
+        let expected = [78.0, 264.0, 73.0, 408.0];
+        for (got, want) in table.iter().zip(expected) {
+            assert!((got - want).abs() < 1e-6, "{got} != {want}");
+        }
+    }
+
+    #[test]
+    fn best_state_of_nand2_is_a0_b1() {
+        let library = LeakageLibrary::cmos45();
+        assert_eq!(library.best_state(GateKind::Nand, 2), 0b10);
+    }
+
+    #[test]
+    fn current_to_power_uses_supply() {
+        let library = LeakageLibrary::cmos45();
+        // 1000 nA at 0.9 V = 0.9 µW.
+        assert!((library.current_to_power_uw(1000.0) - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn circuit_leakage_is_sum_of_gate_leakages() {
+        let n = bench::parse(bench::S27_BENCH, "s27").unwrap();
+        let library = LeakageLibrary::cmos45();
+        let estimator = LeakageEstimator::new(&n, &library);
+        let ev = Evaluator::new(&n);
+        let values = ev.evaluate(&n, &vec![Logic::Zero; ev.inputs().len()]);
+        let total = estimator.circuit_leakage(&n, &values);
+        let manual: f64 = n
+            .gate_ids()
+            .map(|g| estimator.gate_leakage(&n, g, &values))
+            .sum();
+        assert!((total - manual).abs() < 1e-9);
+        assert!(total > 0.0);
+    }
+
+    #[test]
+    fn unknown_inputs_average_over_both_values() {
+        let mut n = Netlist::new("t");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let g = n.add_gate(GateKind::Nand, &[a, b], "g");
+        n.mark_output(g.output);
+        let library = LeakageLibrary::cmos45();
+        let estimator = LeakageEstimator::new(&n, &library);
+        let mut values = vec![Logic::X; n.net_count()];
+        values[a.index()] = Logic::Zero;
+        // b unknown: average of states 00 and 01(b=1 -> pin1 set) = (78 + 73)/2.
+        let leak = estimator.gate_leakage(&n, g.gate, &values);
+        assert!((leak - (78.0 + 73.0) / 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn leakage_state_dependence_is_visible_at_circuit_level() {
+        let n = bench::parse(bench::S27_BENCH, "s27").unwrap();
+        let library = LeakageLibrary::cmos45();
+        let estimator = LeakageEstimator::new(&n, &library);
+        let ev = Evaluator::new(&n);
+        let zeros = estimator.circuit_leakage(
+            &n,
+            &ev.evaluate(&n, &vec![Logic::Zero; ev.inputs().len()]),
+        );
+        let ones = estimator.circuit_leakage(
+            &n,
+            &ev.evaluate(&n, &vec![Logic::One; ev.inputs().len()]),
+        );
+        assert_ne!(zeros, ones);
+    }
+
+    #[test]
+    fn leakage_average_accumulates() {
+        let library = LeakageLibrary::cmos45();
+        let mut avg = LeakageAverage::new();
+        assert_eq!(avg.average_na(), 0.0);
+        avg.add(100.0);
+        avg.add(300.0);
+        assert_eq!(avg.samples(), 2);
+        assert!((avg.average_na() - 200.0).abs() < 1e-12);
+        assert!((avg.average_uw(&library) - library.current_to_power_uw(200.0)).abs() < 1e-12);
+    }
+}

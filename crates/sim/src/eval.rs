@@ -1,0 +1,154 @@
+use scanpower_netlist::{GateId, NetId, Netlist, topo};
+
+use crate::logic::Logic;
+
+/// Zero-delay evaluator of the combinational part of a netlist.
+///
+/// The evaluator caches the topological order of the gates so that repeated
+/// evaluations (thousands of shift cycles, Monte-Carlo leakage sampling) do
+/// not re-sort the circuit. It borrows nothing, so one evaluator can be
+/// reused across calls as long as the netlist structure does not change;
+/// rebuild it after structural edits such as MUX insertion.
+#[derive(Debug, Clone)]
+pub struct Evaluator {
+    order: Vec<GateId>,
+    inputs: Vec<NetId>,
+    net_count: usize,
+}
+
+impl Evaluator {
+    /// Builds an evaluator for `netlist`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the combinational part of the netlist is cyclic; validate
+    /// untrusted netlists with [`Netlist::validate`] first.
+    #[must_use]
+    pub fn new(netlist: &Netlist) -> Evaluator {
+        Evaluator {
+            order: topo::topological_gates(netlist).expect("combinational part must be acyclic"),
+            inputs: netlist.combinational_inputs(),
+            net_count: netlist.net_count(),
+        }
+    }
+
+    /// The combinational inputs in the order expected by
+    /// [`Evaluator::evaluate`] (primary inputs followed by pseudo-inputs).
+    #[must_use]
+    pub fn inputs(&self) -> &[NetId] {
+        &self.inputs
+    }
+
+    /// Gates in topological order.
+    #[must_use]
+    pub fn order(&self) -> &[GateId] {
+        &self.order
+    }
+
+    /// Evaluates the circuit of `netlist` from a complete assignment of the
+    /// combinational inputs (same order as [`Evaluator::inputs`]);
+    /// unspecified inputs may be passed as [`Logic::X`]. Returns one value
+    /// per net, indexed by [`NetId::index`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input_values` has a different length than the number of
+    /// combinational inputs, or if `netlist` is not the netlist the
+    /// evaluator was built for.
+    #[must_use]
+    pub fn evaluate(&self, netlist: &Netlist, input_values: &[Logic]) -> Vec<Logic> {
+        assert_eq!(
+            input_values.len(),
+            self.inputs.len(),
+            "one value per combinational input required"
+        );
+        let mut values = vec![Logic::X; self.net_count];
+        for (&net, &value) in self.inputs.iter().zip(input_values) {
+            values[net.index()] = value;
+        }
+        self.propagate(netlist, &mut values);
+        values
+    }
+
+    /// Re-evaluates every gate (in topological order) over a caller-provided
+    /// per-net value buffer. Input nets are left untouched; every driven net
+    /// is overwritten. This is the primitive behind [`Evaluator::evaluate`]
+    /// and is also used by the fault simulator, which seeds arbitrary net
+    /// values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is shorter than the number of nets.
+    pub fn propagate(&self, netlist: &Netlist, values: &mut [Logic]) {
+        assert!(values.len() >= self.net_count, "value buffer too small");
+        let mut scratch: Vec<Logic> = Vec::with_capacity(8);
+        for &gate_id in &self.order {
+            let gate = netlist.gate(gate_id);
+            scratch.clear();
+            scratch.extend(gate.inputs.iter().map(|&n| values[n.index()]));
+            values[gate.output.index()] = Logic::eval_gate(gate.kind, &scratch);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scanpower_netlist::{bench, GateKind};
+
+    #[test]
+    fn evaluates_simple_circuit() {
+        let mut n = Netlist::new("t");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let g = n.add_gate(GateKind::Nand, &[a, b], "g");
+        let h = n.add_gate(GateKind::Not, &[g.output], "h");
+        n.mark_output(h.output);
+        let ev = Evaluator::new(&n);
+        let values = ev.evaluate(&n, &[Logic::One, Logic::One]);
+        assert_eq!(values[g.output.index()], Logic::Zero);
+        assert_eq!(values[h.output.index()], Logic::One);
+    }
+
+    #[test]
+    fn x_propagates_only_where_needed() {
+        let mut n = Netlist::new("t");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let g = n.add_gate(GateKind::Nor, &[a, b], "g");
+        n.mark_output(g.output);
+        let ev = Evaluator::new(&n);
+        // b = X but a = 1 is controlling for NOR: output must be 0.
+        let values = ev.evaluate(&n, &[Logic::One, Logic::X]);
+        assert_eq!(values[g.output.index()], Logic::Zero);
+        // a = 0 leaves the output unknown.
+        let values = ev.evaluate(&n, &[Logic::Zero, Logic::X]);
+        assert_eq!(values[g.output.index()], Logic::X);
+    }
+
+    #[test]
+    fn s27_all_zero_input_state() {
+        let n = bench::parse(bench::S27_BENCH, "s27").unwrap();
+        let ev = Evaluator::new(&n);
+        let values = ev.evaluate(&n, &vec![Logic::Zero; ev.inputs().len()]);
+        // Every net must be fully specified when every input is specified.
+        for net in n.net_ids() {
+            assert!(values[net.index()].is_known());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one value per combinational input")]
+    fn wrong_input_width_panics() {
+        let n = bench::parse(bench::S27_BENCH, "s27").unwrap();
+        let ev = Evaluator::new(&n);
+        let _ = ev.evaluate(&n, &[Logic::Zero]);
+    }
+
+    #[test]
+    fn pseudo_inputs_are_part_of_the_input_vector() {
+        let n = bench::parse(bench::S27_BENCH, "s27").unwrap();
+        let ev = Evaluator::new(&n);
+        assert_eq!(ev.inputs().len(), 4 + 3);
+    }
+}

@@ -1,0 +1,356 @@
+//! Parallel-pattern stuck-at fault simulation.
+//!
+//! The ATPG substitute (`scanpower-atpg`) needs to know which faults a set
+//! of scan patterns detects, both to drop detected faults during the random
+//! phase and to report the final coverage. Faults are single stuck-at faults
+//! on nets (output faults after structural collapsing of the equivalent
+//! input faults); patterns are fully-specified assignments of the
+//! combinational inputs; detection is observed at the primary outputs and at
+//! the flip-flop D inputs (full-scan observation).
+//!
+//! Simulation is bit-parallel: 64 patterns are evaluated per pass using one
+//! machine word per net.
+
+use serde::{Deserialize, Serialize};
+
+use scanpower_netlist::{GateId, GateKind, NetId, Netlist, topo};
+
+/// A single stuck-at fault on a net.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Fault {
+    /// Faulty net.
+    pub net: NetId,
+    /// `true` for stuck-at-1, `false` for stuck-at-0.
+    pub stuck_at_one: bool,
+}
+
+impl Fault {
+    /// Human-readable description (`net/sa1`).
+    #[must_use]
+    pub fn describe(&self, netlist: &Netlist) -> String {
+        format!(
+            "{}/sa{}",
+            netlist.net(self.net).name,
+            u8::from(self.stuck_at_one)
+        )
+    }
+}
+
+/// Returns the collapsed fault list: a stuck-at-0 and a stuck-at-1 fault on
+/// every net of the circuit.
+#[must_use]
+pub fn all_net_faults(netlist: &Netlist) -> Vec<Fault> {
+    let mut faults = Vec::with_capacity(netlist.net_count() * 2);
+    for net in netlist.net_ids() {
+        faults.push(Fault {
+            net,
+            stuck_at_one: false,
+        });
+        faults.push(Fault {
+            net,
+            stuck_at_one: true,
+        });
+    }
+    faults
+}
+
+/// Bit-parallel stuck-at fault simulator.
+#[derive(Debug, Clone)]
+pub struct FaultSim {
+    order: Vec<GateId>,
+    inputs: Vec<NetId>,
+    observation: Vec<NetId>,
+}
+
+impl FaultSim {
+    /// Builds a simulator for `netlist`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the combinational part is cyclic.
+    #[must_use]
+    pub fn new(netlist: &Netlist) -> FaultSim {
+        let mut observation = netlist.primary_outputs().to_vec();
+        observation.extend(netlist.pseudo_outputs());
+        observation.sort_unstable();
+        observation.dedup();
+        FaultSim {
+            order: topo::topological_gates(netlist).expect("acyclic"),
+            inputs: netlist.combinational_inputs(),
+            observation,
+        }
+    }
+
+    /// Nets observed for fault detection (primary outputs and flip-flop D
+    /// inputs).
+    #[must_use]
+    pub fn observation_points(&self) -> &[NetId] {
+        &self.observation
+    }
+
+    /// Simulates up to 64 patterns at once and returns one word per net
+    /// (bit `k` = value of the net under pattern `k`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than 64 patterns are passed or a pattern has the wrong
+    /// width.
+    #[must_use]
+    pub fn good_values(&self, netlist: &Netlist, patterns: &[Vec<bool>]) -> Vec<u64> {
+        assert!(patterns.len() <= 64, "at most 64 patterns per block");
+        let mut values = vec![0u64; netlist.net_count()];
+        for (bit, pattern) in patterns.iter().enumerate() {
+            assert_eq!(pattern.len(), self.inputs.len(), "pattern width");
+            for (&net, &value) in self.inputs.iter().zip(pattern) {
+                if value {
+                    values[net.index()] |= 1 << bit;
+                }
+            }
+        }
+        self.propagate(netlist, &mut values, None);
+        values
+    }
+
+    /// Marks which of `faults` are detected by `patterns`, updating
+    /// `detected` in place (already-detected faults are skipped — fault
+    /// dropping). Returns the number of newly detected faults.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `detected.len() != faults.len()` or a pattern has the wrong
+    /// width.
+    pub fn detect_into(
+        &self,
+        netlist: &Netlist,
+        faults: &[Fault],
+        patterns: &[Vec<bool>],
+        detected: &mut [bool],
+    ) -> usize {
+        assert_eq!(faults.len(), detected.len(), "one flag per fault");
+        let mut newly = 0usize;
+        for block in patterns.chunks(64) {
+            let good = self.good_values(netlist, block);
+            let active_mask = if block.len() == 64 {
+                u64::MAX
+            } else {
+                (1u64 << block.len()) - 1
+            };
+            let mut faulty = good.clone();
+            for (fault, flag) in faults.iter().zip(detected.iter_mut()) {
+                if *flag {
+                    continue;
+                }
+                let forced = if fault.stuck_at_one { u64::MAX } else { 0 };
+                if (good[fault.net.index()] ^ forced) & active_mask == 0 {
+                    // The fault is never activated by this block.
+                    continue;
+                }
+                if self.fault_detected(netlist, &good, &mut faulty, fault, forced, active_mask) {
+                    *flag = true;
+                    newly += 1;
+                }
+            }
+        }
+        newly
+    }
+
+    /// Convenience wrapper around [`FaultSim::detect_into`] starting from an
+    /// all-undetected fault list.
+    #[must_use]
+    pub fn detect(&self, netlist: &Netlist, faults: &[Fault], patterns: &[Vec<bool>]) -> Vec<bool> {
+        let mut detected = vec![false; faults.len()];
+        self.detect_into(netlist, faults, patterns, &mut detected);
+        detected
+    }
+
+    /// Fault coverage of `patterns` over `faults` (detected / total).
+    #[must_use]
+    pub fn coverage(&self, netlist: &Netlist, faults: &[Fault], patterns: &[Vec<bool>]) -> f64 {
+        if faults.is_empty() {
+            return 1.0;
+        }
+        let detected = self.detect(netlist, faults, patterns);
+        detected.iter().filter(|&&d| d).count() as f64 / faults.len() as f64
+    }
+
+    fn fault_detected(
+        &self,
+        netlist: &Netlist,
+        good: &[u64],
+        faulty: &mut [u64],
+        fault: &Fault,
+        forced: u64,
+        active_mask: u64,
+    ) -> bool {
+        // Evaluate the fanout cone of the fault net on top of the good
+        // values, recording touched nets so the scratch buffer can be
+        // restored afterwards.
+        let mut touched: Vec<NetId> = vec![fault.net];
+        faulty[fault.net.index()] = forced;
+
+        let cone = topo::fanout_cone(netlist, fault.net);
+        let mut in_cone = vec![false; netlist.gate_count()];
+        for &gate in &cone {
+            in_cone[gate.index()] = true;
+        }
+        for &gate_id in &self.order {
+            if !in_cone[gate_id.index()] {
+                continue;
+            }
+            let gate = netlist.gate(gate_id);
+            let value = eval_gate_words(gate.kind, &gate.inputs, faulty);
+            if faulty[gate.output.index()] != value {
+                touched.push(gate.output);
+                faulty[gate.output.index()] = value;
+            }
+        }
+
+        let mut difference = 0u64;
+        for &obs in &self.observation {
+            difference |= (good[obs.index()] ^ faulty[obs.index()]) & active_mask;
+            if difference != 0 {
+                break;
+            }
+        }
+
+        for net in touched {
+            faulty[net.index()] = good[net.index()];
+        }
+        difference != 0
+    }
+
+    fn propagate(&self, netlist: &Netlist, values: &mut [u64], _mask: Option<u64>) {
+        for &gate_id in &self.order {
+            let gate = netlist.gate(gate_id);
+            values[gate.output.index()] = eval_gate_words(gate.kind, &gate.inputs, values);
+        }
+    }
+}
+
+fn eval_gate_words(kind: GateKind, inputs: &[NetId], values: &[u64]) -> u64 {
+    let read = |i: usize| values[inputs[i].index()];
+    match kind {
+        GateKind::Buf => read(0),
+        GateKind::Not => !read(0),
+        GateKind::And => inputs.iter().fold(u64::MAX, |acc, &n| acc & values[n.index()]),
+        GateKind::Nand => !inputs
+            .iter()
+            .fold(u64::MAX, |acc, &n| acc & values[n.index()]),
+        GateKind::Or => inputs.iter().fold(0, |acc, &n| acc | values[n.index()]),
+        GateKind::Nor => !inputs.iter().fold(0, |acc, &n| acc | values[n.index()]),
+        GateKind::Xor => inputs.iter().fold(0, |acc, &n| acc ^ values[n.index()]),
+        GateKind::Xnor => !inputs.iter().fold(0, |acc, &n| acc ^ values[n.index()]),
+        GateKind::Mux => {
+            let select = read(0);
+            (!select & read(1)) | (select & read(2))
+        }
+        GateKind::Const0 => 0,
+        GateKind::Const1 => u64::MAX,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::patterns::random_bool_patterns;
+    use crate::{Evaluator, Logic};
+    use scanpower_netlist::{bench, GateKind};
+
+    #[test]
+    fn good_values_match_scalar_simulation() {
+        let n = bench::parse(bench::S27_BENCH, "s27").unwrap();
+        let sim = FaultSim::new(&n);
+        let ev = Evaluator::new(&n);
+        let patterns = random_bool_patterns(ev.inputs().len(), 64, 5);
+        let words = sim.good_values(&n, &patterns);
+        for (bit, pattern) in patterns.iter().enumerate() {
+            let logic: Vec<Logic> = pattern.iter().copied().map(Logic::from_bool).collect();
+            let reference = ev.evaluate(&n, &logic);
+            for net in n.net_ids() {
+                let expected = reference[net.index()] == Logic::One;
+                let got = (words[net.index()] >> bit) & 1 == 1;
+                assert_eq!(expected, got, "net {} pattern {}", n.net(net).name, bit);
+            }
+        }
+    }
+
+    #[test]
+    fn stuck_output_fault_is_detected() {
+        // Single inverter: out stuck-at-1 is detected by input 1.
+        let mut n = scanpower_netlist::Netlist::new("inv");
+        let a = n.add_input("a");
+        let g = n.add_gate(GateKind::Not, &[a], "out");
+        n.mark_output(g.output);
+        let sim = FaultSim::new(&n);
+        let fault = Fault {
+            net: g.output,
+            stuck_at_one: true,
+        };
+        let detected = sim.detect(&n, &[fault], &[vec![true]]);
+        assert_eq!(detected, vec![true]);
+        // Input 0 does not detect it (good output already 1).
+        let detected = sim.detect(&n, &[fault], &[vec![false]]);
+        assert_eq!(detected, vec![false]);
+    }
+
+    #[test]
+    fn redundant_fault_is_never_detected() {
+        // out = OR(a, NOT(a)) is constant 1, so out/sa1 is undetectable.
+        let mut n = scanpower_netlist::Netlist::new("taut");
+        let a = n.add_input("a");
+        let inv = n.add_gate(GateKind::Not, &[a], "inv");
+        let or = n.add_gate(GateKind::Or, &[a, inv.output], "out");
+        n.mark_output(or.output);
+        let sim = FaultSim::new(&n);
+        let fault = Fault {
+            net: or.output,
+            stuck_at_one: true,
+        };
+        let detected = sim.detect(&n, &[fault], &[vec![false], vec![true]]);
+        assert_eq!(detected, vec![false]);
+    }
+
+    #[test]
+    fn random_patterns_reach_high_coverage_on_s27() {
+        let n = bench::parse(bench::S27_BENCH, "s27").unwrap();
+        let sim = FaultSim::new(&n);
+        let faults = all_net_faults(&n);
+        let patterns = random_bool_patterns(n.combinational_inputs().len(), 256, 11);
+        let coverage = sim.coverage(&n, &faults, &patterns);
+        assert!(coverage > 0.85, "coverage {coverage} too low");
+    }
+
+    #[test]
+    fn detection_is_observed_at_flip_flop_inputs_too() {
+        // A fault visible only at a D input (no primary output in its cone)
+        // must still be detected in a full-scan methodology.
+        let mut n = scanpower_netlist::Netlist::new("dff_obs");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let g = n.add_gate(GateKind::Nand, &[a, b], "g");
+        let q = n.add_dff(g.output, "q");
+        let h = n.add_gate(GateKind::Not, &[q], "h");
+        n.mark_output(h.output);
+        let sim = FaultSim::new(&n);
+        let fault = Fault {
+            net: g.output,
+            stuck_at_one: false,
+        };
+        // Pattern a=1, b=0 (q value irrelevant): good g=1, faulty g=0.
+        let detected = sim.detect(&n, &[fault], &[vec![true, false, false]]);
+        assert_eq!(detected, vec![true]);
+    }
+
+    #[test]
+    fn fault_dropping_counts_new_detections_only() {
+        let n = bench::parse(bench::S27_BENCH, "s27").unwrap();
+        let sim = FaultSim::new(&n);
+        let faults = all_net_faults(&n);
+        let mut detected = vec![false; faults.len()];
+        let patterns = random_bool_patterns(n.combinational_inputs().len(), 64, 3);
+        let first = sim.detect_into(&n, &faults, &patterns, &mut detected);
+        let second = sim.detect_into(&n, &faults, &patterns, &mut detected);
+        assert!(first > 0);
+        assert_eq!(second, 0, "same patterns cannot detect anything new");
+    }
+}

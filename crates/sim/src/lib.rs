@@ -1,0 +1,45 @@
+//! Logic simulation for the `scanpower` workspace.
+//!
+//! The power numbers of the paper are produced by simulating the circuit
+//! while test vectors are shifted through the scan chain. This crate
+//! provides the simulation machinery:
+//!
+//! * [`Logic`] — three-valued (0/1/X) logic with Kleene semantics.
+//! * [`Evaluator`] — zero-delay evaluation of the combinational part from a
+//!   complete assignment of the combinational inputs.
+//! * [`IncrementalSim`] — event-driven re-evaluation that reports exactly
+//!   which nets toggled, used to count transitions cheaply across the many
+//!   shift cycles of a scan test.
+//! * [`scan`] — test-per-scan shift simulation ([`scan::ScanShiftSim`]) with
+//!   per-net transition counts and per-cycle state observation.
+//! * [`fault`] — parallel-pattern stuck-at fault simulation used by the
+//!   ATPG substitute.
+//! * [`patterns`] — deterministic random pattern generation.
+//!
+//! # Examples
+//!
+//! ```
+//! use scanpower_netlist::bench;
+//! use scanpower_sim::{Evaluator, Logic};
+//!
+//! let circuit = bench::parse(bench::S27_BENCH, "s27")?;
+//! let evaluator = Evaluator::new(&circuit);
+//! let inputs = vec![Logic::Zero; circuit.combinational_inputs().len()];
+//! let values = evaluator.evaluate(&circuit, &inputs);
+//! assert_eq!(values.len(), circuit.net_count());
+//! # Ok::<(), scanpower_netlist::NetlistError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod eval;
+pub mod fault;
+mod incremental;
+mod logic;
+pub mod patterns;
+pub mod scan;
+
+pub use eval::Evaluator;
+pub use incremental::IncrementalSim;
+pub use logic::Logic;

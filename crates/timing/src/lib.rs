@@ -1,0 +1,39 @@
+//! Static timing analysis and electrical models for the `scanpower`
+//! workspace.
+//!
+//! The proposed method of the paper only multiplexes scan-cell outputs that
+//! are **not** on a critical path, so `AddMUX` needs a critical-path delay
+//! and per-net slack information. This crate provides:
+//!
+//! * [`DelayModel`] — a simple cell-delay model (intrinsic delay per gate
+//!   kind and fanin plus a fanout-dependent load term) representative of a
+//!   45 nm standard-cell library.
+//! * [`CapacitanceModel`] — pin and wire capacitances used by the dynamic
+//!   power estimation (`scanpower-power`).
+//! * [`Sta`] / [`TimingReport`] — topological arrival/departure analysis,
+//!   critical-path extraction and slack queries, including the
+//!   "would inserting a MUX here lengthen the critical path?" check.
+//!
+//! # Examples
+//!
+//! ```
+//! use scanpower_netlist::bench;
+//! use scanpower_timing::{DelayModel, Sta};
+//!
+//! let circuit = bench::parse(bench::S27_BENCH, "s27")?;
+//! let report = Sta::new(DelayModel::default()).analyze(&circuit)?;
+//! assert!(report.critical_delay() > 0.0);
+//! assert!(!report.critical_path().is_empty());
+//! # Ok::<(), scanpower_netlist::NetlistError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod capacitance;
+mod delay;
+mod sta;
+
+pub use capacitance::CapacitanceModel;
+pub use delay::DelayModel;
+pub use sta::{Sta, TimingReport};

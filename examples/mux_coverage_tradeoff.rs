@@ -1,0 +1,42 @@
+//! Ablation: how the power reduction of the proposed structure depends on
+//! how many scan cells are allowed to take a multiplexer.
+//!
+//! The paper always multiplexes every non-critical pseudo-input; this sweep
+//! shows what is lost when only a fraction of them can be modified (for
+//! example because of area constraints), which is the trade-off a user of
+//! the library would want to understand.
+//!
+//! Run with `cargo run --release --example mux_coverage_tradeoff`.
+
+use scanpower_suite::core::experiment::{CircuitExperiment, ExperimentOptions};
+use scanpower_suite::core::ProposedOptions;
+use scanpower_suite::netlist::generator::CircuitFamily;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let name = std::env::var("SCANPOWER_CIRCUIT").unwrap_or_else(|_| "s641".to_owned());
+    let circuit = CircuitFamily::iscas89_like(&name)?.generate(1);
+    println!(
+        "circuit {name}: {} gates, {} scan cells",
+        circuit.gate_count(),
+        circuit.dff_count()
+    );
+    println!("{:>10} {:>16} {:>12} {:>10} {:>10}", "mux frac", "dyn (uW/Hz)", "static (uW)", "dyn% vs T", "stat% vs T");
+
+    for fraction in [0.0, 0.25, 0.5, 0.75, 1.0] {
+        let mut options = ExperimentOptions::fast();
+        options.proposed = ProposedOptions {
+            mux_fraction: Some(fraction),
+            ..ProposedOptions::default()
+        };
+        let row = CircuitExperiment::new(options).run(&circuit);
+        println!(
+            "{:>10.2} {:>16.4e} {:>12.2} {:>10.2} {:>10.2}",
+            fraction,
+            row.proposed.dynamic_per_hz_uw,
+            row.proposed.static_uw,
+            row.dynamic_improvement_vs_traditional(),
+            row.static_improvement_vs_traditional()
+        );
+    }
+    Ok(())
+}

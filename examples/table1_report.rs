@@ -1,0 +1,78 @@
+//! Regenerates Table I of the paper: dynamic and static scan power of the
+//! traditional scan structure, the input-control structure \[8\] and the
+//! proposed structure, for the twelve ISCAS89-sized circuits.
+//!
+//! Run with `cargo run --release --example table1_report`.
+//!
+//! Environment knobs:
+//!
+//! * `SCANPOWER_CIRCUITS` — comma-separated circuit names (default: all 12);
+//! * `SCANPOWER_SCALE`    — shrink factor for the synthetic circuits, e.g.
+//!   `0.25` for a quick smoke run (default: 1.0);
+//! * `SCANPOWER_PATTERNS` — cap on the number of scan test patterns
+//!   (default: 32);
+//! * `SCANPOWER_SEED`     — synthetic-netlist seed (default: 1).
+
+use scanpower_suite::core::experiment::{CircuitExperiment, ExperimentOptions, Table1Report};
+use scanpower_suite::netlist::generator::{CircuitFamily, TABLE1_CIRCUITS};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let circuits: Vec<String> = std::env::var("SCANPOWER_CIRCUITS")
+        .map(|s| s.split(',').map(|c| c.trim().to_owned()).collect())
+        .unwrap_or_else(|_| TABLE1_CIRCUITS.iter().map(|&c| c.to_owned()).collect());
+    let scale: f64 = std::env::var("SCANPOWER_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1.0);
+    let max_patterns: usize = std::env::var("SCANPOWER_PATTERNS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(32);
+    let seed: u64 = std::env::var("SCANPOWER_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
+
+    let specs = circuits
+        .iter()
+        .map(|name| CircuitFamily::iscas89_like(name))
+        .collect::<Result<Vec<_>, _>>()?;
+
+    let mut options = ExperimentOptions::fast();
+    options.max_patterns = Some(max_patterns);
+
+    eprintln!(
+        "running Table I reproduction: {} circuits, scale {scale}, {max_patterns} patterns, seed {seed}",
+        specs.len()
+    );
+    let experiment = CircuitExperiment::new(options);
+    let mut rows = Vec::new();
+    for spec in &specs {
+        let spec = if (scale - 1.0).abs() < f64::EPSILON {
+            spec.clone()
+        } else {
+            spec.scaled(scale)
+        };
+        let circuit = spec.generate(seed);
+        let row = experiment.run(&circuit);
+        eprintln!(
+            "{:<8} dyn(/f): {:.3e} -> {:.3e} uW/Hz ({:+.1}%)   static: {:.2} -> {:.2} uW ({:+.1}%)",
+            row.circuit,
+            row.traditional.dynamic_per_hz_uw,
+            row.proposed.dynamic_per_hz_uw,
+            -row.dynamic_improvement_vs_traditional(),
+            row.traditional.static_uw,
+            row.proposed.static_uw,
+            -row.static_improvement_vs_traditional(),
+        );
+        rows.push(row);
+    }
+    let report = Table1Report { rows };
+    println!("{}", report.to_table_string());
+    println!(
+        "average improvement vs traditional scan: dynamic {:.1}%, static {:.1}%",
+        report.average_dynamic_improvement(),
+        report.average_static_improvement()
+    );
+    Ok(())
+}

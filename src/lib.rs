@@ -1,0 +1,22 @@
+//! Umbrella crate for the `scanpower` workspace.
+//!
+//! This crate only re-exports the member crates so that the repository-level
+//! examples (`examples/`) and integration tests (`tests/`) can exercise the
+//! whole stack through one dependency. Library users should depend on the
+//! individual crates (`scanpower-core`, `scanpower-netlist`, …) directly.
+//!
+//! # Examples
+//!
+//! ```
+//! use scanpower_suite::netlist::generator::CircuitFamily;
+//!
+//! let spec = CircuitFamily::iscas89_like("s344").expect("known circuit");
+//! assert_eq!(spec.name(), "s344");
+//! ```
+
+pub use scanpower_atpg as atpg;
+pub use scanpower_core as core;
+pub use scanpower_netlist as netlist;
+pub use scanpower_power as power;
+pub use scanpower_sim as sim;
+pub use scanpower_timing as timing;

@@ -1,0 +1,214 @@
+//! Property-based tests over the core data structures and invariants.
+
+use proptest::prelude::*;
+
+use scanpower_suite::netlist::generator::CircuitFamily;
+use scanpower_suite::netlist::{bench, techmap::TechMapper, GateKind, Netlist};
+use scanpower_suite::power::{reorder, LeakageEstimator, LeakageLibrary, LeakageObservability};
+use scanpower_suite::sim::{Evaluator, IncrementalSim, Logic};
+use scanpower_suite::timing::Sta;
+
+/// Builds a small random combinational netlist from a proptest strategy.
+fn random_netlist(gate_picks: &[(u8, u8, u8)], inputs: usize) -> Netlist {
+    let mut netlist = Netlist::new("prop");
+    let mut pool = Vec::new();
+    for i in 0..inputs {
+        pool.push(netlist.add_input(&format!("i{i}")));
+    }
+    for (index, &(kind, a, b)) in gate_picks.iter().enumerate() {
+        let kind = match kind % 5 {
+            0 => GateKind::Nand,
+            1 => GateKind::Nor,
+            2 => GateKind::Not,
+            3 => GateKind::And,
+            _ => GateKind::Or,
+        };
+        let a = pool[a as usize % pool.len()];
+        let b = pool[b as usize % pool.len()];
+        let inputs: Vec<_> = if kind == GateKind::Not {
+            vec![a]
+        } else if a == b {
+            vec![a]
+        } else {
+            vec![a, b]
+        };
+        let gate = netlist.add_gate(kind, &inputs, &format!("g{index}"));
+        pool.push(gate.output);
+    }
+    let last = *pool.last().unwrap();
+    netlist.mark_output(last);
+    netlist
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random netlists are structurally valid and acyclic by construction.
+    #[test]
+    fn generated_random_netlists_validate(
+        gate_picks in prop::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), 1..40),
+        inputs in 1usize..6,
+    ) {
+        let netlist = random_netlist(&gate_picks, inputs);
+        prop_assert!(netlist.validate().is_ok());
+    }
+
+    /// The `.bench` writer and parser round-trip preserves structure.
+    #[test]
+    fn bench_round_trip(
+        gate_picks in prop::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), 1..30),
+        inputs in 1usize..6,
+    ) {
+        let netlist = random_netlist(&gate_picks, inputs);
+        let text = bench::to_bench(&netlist);
+        let reparsed = bench::parse(&text, netlist.name()).unwrap();
+        prop_assert_eq!(reparsed.gate_count(), netlist.gate_count());
+        prop_assert_eq!(reparsed.primary_inputs().len(), netlist.primary_inputs().len());
+        prop_assert_eq!(reparsed.primary_outputs().len(), netlist.primary_outputs().len());
+    }
+
+    /// Technology mapping preserves the boolean function of every output.
+    #[test]
+    fn techmap_preserves_function(
+        gate_picks in prop::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), 1..20),
+        inputs in 1usize..5,
+        vectors in prop::collection::vec(any::<u16>(), 1..8),
+    ) {
+        let netlist = random_netlist(&gate_picks, inputs);
+        let mapped = TechMapper::new().map(&netlist).unwrap();
+        let ev_a = Evaluator::new(&netlist);
+        let ev_b = Evaluator::new(&mapped);
+        for bits in vectors {
+            let assignment: Vec<Logic> = (0..inputs)
+                .map(|i| Logic::from_bool((bits >> i) & 1 == 1))
+                .collect();
+            let a = ev_a.evaluate(&netlist, &assignment);
+            let b = ev_b.evaluate(&mapped, &assignment);
+            for (pa, pb) in netlist.primary_outputs().iter().zip(mapped.primary_outputs()) {
+                prop_assert_eq!(a[pa.index()], b[pb.index()]);
+            }
+        }
+    }
+
+    /// Incremental (event-driven) simulation always agrees with full
+    /// re-evaluation, whatever sequence of input changes is applied.
+    #[test]
+    fn incremental_simulation_matches_full_evaluation(
+        seed_bits in any::<u16>(),
+        flips in prop::collection::vec((any::<u8>(), any::<bool>()), 1..40),
+    ) {
+        let netlist = bench::parse(bench::S27_BENCH, "s27").unwrap();
+        let evaluator = Evaluator::new(&netlist);
+        let width = evaluator.inputs().len();
+        let mut current: Vec<Logic> = (0..width)
+            .map(|i| Logic::from_bool((seed_bits >> i) & 1 == 1))
+            .collect();
+        let mut sim = IncrementalSim::new(&netlist, &current);
+        for (position, value) in flips {
+            let index = position as usize % width;
+            current[index] = Logic::from_bool(value);
+            sim.apply(&netlist, &[(evaluator.inputs()[index], current[index])]);
+            let reference = evaluator.evaluate(&netlist, &current);
+            prop_assert_eq!(sim.values(), reference.as_slice());
+        }
+    }
+
+    /// Leakage estimates are always positive and averaging over unknowns is
+    /// bounded by the extremes over completions.
+    #[test]
+    fn leakage_with_unknowns_is_bounded_by_completions(
+        a in prop::option::of(any::<bool>()),
+        b in prop::option::of(any::<bool>()),
+    ) {
+        let mut netlist = Netlist::new("nand");
+        let ia = netlist.add_input("a");
+        let ib = netlist.add_input("b");
+        let g = netlist.add_gate(GateKind::Nand, &[ia, ib], "g");
+        netlist.mark_output(g.output);
+        let library = LeakageLibrary::cmos45();
+        let estimator = LeakageEstimator::new(&netlist, &library);
+        let to_logic = |v: Option<bool>| v.map(Logic::from_bool).unwrap_or(Logic::X);
+        let mut values = vec![Logic::X; netlist.net_count()];
+        values[ia.index()] = to_logic(a);
+        values[ib.index()] = to_logic(b);
+        let estimate = estimator.gate_leakage(&netlist, g.gate, &values);
+        let table: Vec<f64> = (0..4).map(|s| library.gate_leakage(GateKind::Nand, 2, s)).collect();
+        let min = table.iter().cloned().fold(f64::MAX, f64::min);
+        let max = table.iter().cloned().fold(f64::MIN, f64::max);
+        prop_assert!(estimate >= min - 1e-9 && estimate <= max + 1e-9);
+        prop_assert!(estimate > 0.0);
+    }
+
+    /// Gate input reordering never changes the logic function and never
+    /// increases the leakage of the optimised state.
+    #[test]
+    fn reordering_is_function_preserving_and_non_worsening(
+        gate_picks in prop::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), 1..20),
+        inputs in 2usize..5,
+        state_bits in any::<u8>(),
+    ) {
+        let mut netlist = random_netlist(&gate_picks, inputs);
+        let library = LeakageLibrary::cmos45();
+        let estimator = LeakageEstimator::new(&netlist, &library);
+        let evaluator = Evaluator::new(&netlist);
+        let assignment: Vec<Logic> = (0..inputs)
+            .map(|i| Logic::from_bool((state_bits >> i) & 1 == 1))
+            .collect();
+        let values = evaluator.evaluate(&netlist, &assignment);
+        let before = estimator.circuit_leakage(&netlist, &values);
+        let reference: Vec<Vec<Logic>> = (0..(1u32 << inputs))
+            .map(|bits| {
+                let vector: Vec<Logic> = (0..inputs)
+                    .map(|i| Logic::from_bool((bits >> i) & 1 == 1))
+                    .collect();
+                evaluator.evaluate(&netlist, &vector)
+            })
+            .collect();
+
+        let report = reorder::optimize(&mut netlist, &library, &values);
+        prop_assert!(netlist.validate().is_ok());
+        prop_assert!(report.leakage_after_na <= report.leakage_before_na + 1e-9);
+
+        let evaluator_after = Evaluator::new(&netlist);
+        let estimator_after = LeakageEstimator::new(&netlist, &library);
+        let values_after = evaluator_after.evaluate(&netlist, &assignment);
+        prop_assert!(estimator_after.circuit_leakage(&netlist, &values_after) <= before + 1e-9);
+        for (bits, reference_values) in reference.iter().enumerate() {
+            let vector: Vec<Logic> = (0..inputs)
+                .map(|i| Logic::from_bool((bits >> i) & 1 == 1))
+                .collect();
+            let after = evaluator_after.evaluate(&netlist, &vector);
+            for &po in netlist.primary_outputs() {
+                prop_assert_eq!(after[po.index()], reference_values[po.index()]);
+            }
+        }
+    }
+
+    /// Static timing analysis invariants: non-negative slacks and
+    /// arrival + departure bounded by the critical delay.
+    #[test]
+    fn sta_slack_invariants(seed in any::<u64>()) {
+        let circuit = CircuitFamily::iscas89_like("s382").unwrap().scaled(0.3).generate(seed);
+        let report = Sta::default().analyze(&circuit).unwrap();
+        for net in circuit.net_ids() {
+            prop_assert!(report.slack(net) >= -1e-6);
+            prop_assert!(report.arrival(net) + report.departure(net) <= report.critical_delay() + 1e-6);
+        }
+    }
+
+    /// Leakage observability of a line that feeds nothing is exactly zero,
+    /// and signal probabilities stay in [0, 1].
+    #[test]
+    fn observability_sanity(seed in any::<u64>()) {
+        let circuit = CircuitFamily::iscas89_like("s344").unwrap().scaled(0.2).generate(seed);
+        let library = LeakageLibrary::cmos45();
+        let observability = LeakageObservability::compute(&circuit, &library);
+        for net in circuit.net_ids() {
+            let p = observability.probability(net);
+            prop_assert!((0.0..=1.0).contains(&p));
+            if circuit.net(net).fanout() == 0 {
+                prop_assert!(observability.of(net).abs() < 1e-12);
+            }
+        }
+    }
+}

@@ -79,6 +79,12 @@ pub struct TestSet {
     pub untestable_faults: usize,
     /// Faults aborted (backtrack limit hit).
     pub aborted_faults: usize,
+    /// Number of candidate patterns fault-simulated by the random phase.
+    pub random_patterns_simulated: usize,
+    /// Number of 64-wide fault-free simulation passes the random phase
+    /// needed to simulate them (one per ≤64-pattern block; a scalar random
+    /// phase would have needed one pass per candidate pattern).
+    pub random_sim_passes: usize,
 }
 
 impl TestSet {
@@ -130,9 +136,15 @@ impl AtpgFlow {
         let mut patterns: Vec<Vec<bool>> = Vec::new();
         let mut rng = ChaCha8Rng::seed_from_u64(self.config.seed);
 
-        // Phase 1: random patterns with fault dropping.
+        // Phase 1: random patterns with fault dropping, fault-simulated
+        // 64 patterns per pass through the shared packed kernel. Per-lane
+        // first-detection credit makes the kept patterns identical to a
+        // pattern-at-a-time loop while costing one fault-free simulation
+        // pass per block instead of one per pattern.
         let mut stale = 0usize;
         let mut random_patterns = 0usize;
+        let mut random_patterns_simulated = 0usize;
+        let mut random_sim_passes = 0usize;
         for block_index in 0..self.config.random_max_blocks {
             if self.coverage(&detected) >= self.config.target_coverage {
                 break;
@@ -144,17 +156,16 @@ impl AtpgFlow {
             );
             // Keep only the patterns of the block that detect something new.
             let mut kept_any = false;
-            for pattern in block {
-                let newly = sim.detect_into(
-                    netlist,
-                    faults,
-                    std::slice::from_ref(&pattern),
-                    &mut detected,
-                );
-                if newly > 0 {
-                    patterns.push(pattern);
-                    random_patterns += 1;
-                    kept_any = true;
+            for chunk in block.chunks(64) {
+                let detections = sim.detect_block_into(netlist, faults, chunk, &mut detected);
+                random_sim_passes += 1;
+                random_patterns_simulated += chunk.len();
+                for (lane, &newly) in detections.new_per_lane.iter().enumerate() {
+                    if newly > 0 {
+                        patterns.push(chunk[lane].clone());
+                        random_patterns += 1;
+                        kept_any = true;
+                    }
                 }
             }
             if kept_any {
@@ -218,6 +229,8 @@ impl AtpgFlow {
             deterministic_patterns,
             untestable_faults: untestable,
             aborted_faults: aborted,
+            random_patterns_simulated,
+            random_sim_passes,
         }
     }
 
@@ -287,6 +300,22 @@ mod tests {
             / test_set.total_faults as f64;
         assert!(efficiency > 0.75, "fault efficiency {efficiency}");
         assert!(test_set.patterns.len() < 400);
+    }
+
+    #[test]
+    fn random_phase_amortises_simulation_passes() {
+        // The random phase must evaluate ≥10× more candidate patterns than
+        // it spends fault-free simulation passes — the point of routing it
+        // through the 64-wide packed kernel.
+        let circuit = CircuitFamily::iscas89_like("s344").unwrap().generate(1);
+        let test_set = AtpgFlow::new(AtpgConfig::default()).run(&circuit);
+        assert!(test_set.random_patterns_simulated >= 64);
+        assert!(
+            test_set.random_patterns_simulated >= 10 * test_set.random_sim_passes,
+            "{} patterns in {} passes",
+            test_set.random_patterns_simulated,
+            test_set.random_sim_passes
+        );
     }
 
     #[test]

@@ -12,9 +12,9 @@
 //! which is PODEM-like but justifies internal objectives instead of
 //! propagating fault effects.
 
-use scanpower_netlist::{GateId, NetId, Netlist, topo};
+use scanpower_netlist::{GateId, NetId, Netlist};
 use scanpower_sim::fault::Fault;
-use scanpower_sim::Logic;
+use scanpower_sim::{kernel, Logic, SimKernel};
 
 /// Result of a PODEM run for one fault.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -30,10 +30,13 @@ pub enum PodemOutcome {
 }
 
 /// PODEM test generator for a fixed netlist.
+///
+/// Both machines (good and faulty) are implied through the shared
+/// [`SimKernel`], so the generator carries no gate-evaluation logic of its
+/// own.
 #[derive(Debug, Clone)]
 pub struct Podem {
-    order: Vec<GateId>,
-    inputs: Vec<NetId>,
+    kernel: SimKernel<Logic>,
     input_position: Vec<Option<usize>>,
     observation: Vec<NetId>,
     backtrack_limit: usize,
@@ -53,9 +56,9 @@ impl Podem {
     /// Panics if the combinational part of the netlist is cyclic.
     #[must_use]
     pub fn new(netlist: &Netlist, backtrack_limit: usize) -> Podem {
-        let inputs = netlist.combinational_inputs();
+        let kernel = SimKernel::new(netlist);
         let mut input_position = vec![None; netlist.net_count()];
-        for (i, &net) in inputs.iter().enumerate() {
+        for (i, &net) in kernel.inputs().iter().enumerate() {
             input_position[net.index()] = Some(i);
         }
         let mut observation = netlist.primary_outputs().to_vec();
@@ -63,8 +66,7 @@ impl Podem {
         observation.sort_unstable();
         observation.dedup();
         Podem {
-            order: topo::topological_gates(netlist).expect("acyclic"),
-            inputs,
+            kernel,
             input_position,
             observation,
             backtrack_limit,
@@ -75,13 +77,13 @@ impl Podem {
     /// pseudo-inputs).
     #[must_use]
     pub fn inputs(&self) -> &[NetId] {
-        &self.inputs
+        self.kernel.inputs()
     }
 
     /// Attempts to generate a test for `fault`.
     #[must_use]
     pub fn generate(&self, netlist: &Netlist, fault: Fault) -> PodemOutcome {
-        let mut assignment: Vec<Logic> = vec![Logic::X; self.inputs.len()];
+        let mut assignment: Vec<Logic> = vec![Logic::X; self.inputs().len()];
         let mut machine = Machine {
             good: vec![Logic::X; netlist.net_count()],
             faulty: vec![Logic::X; netlist.net_count()],
@@ -97,9 +99,8 @@ impl Podem {
                 return PodemOutcome::Test(assignment);
             }
             let objective = self.objective(netlist, fault, &machine);
-            let decision = objective.and_then(|(net, value)| {
-                self.backtrace(netlist, &machine, net, value)
-            });
+            let decision =
+                objective.and_then(|(net, value)| self.backtrace(netlist, &machine, net, value));
 
             match decision {
                 Some((input_index, value)) => {
@@ -135,35 +136,25 @@ impl Podem {
 
     /// Forward three-valued implication of both machines from the current
     /// input assignment.
-    fn imply(
-        &self,
-        netlist: &Netlist,
-        assignment: &[Logic],
-        fault: Fault,
-        machine: &mut Machine,
-    ) {
+    fn imply(&self, netlist: &Netlist, assignment: &[Logic], fault: Fault, machine: &mut Machine) {
         for value in machine.good.iter_mut() {
             *value = Logic::X;
         }
         for value in machine.faulty.iter_mut() {
             *value = Logic::X;
         }
-        for (i, &net) in self.inputs.iter().enumerate() {
+        for (i, &net) in self.inputs().iter().enumerate() {
             machine.good[net.index()] = assignment[i];
             machine.faulty[net.index()] = assignment[i];
         }
         // The faulty machine pins the fault site to the stuck value.
         machine.faulty[fault.net.index()] = Logic::from_bool(fault.stuck_at_one);
 
-        let mut scratch: Vec<Logic> = Vec::with_capacity(8);
-        for &gate_id in &self.order {
+        for &gate_id in self.kernel.order() {
             let gate = netlist.gate(gate_id);
-            scratch.clear();
-            scratch.extend(gate.inputs.iter().map(|&n| machine.good[n.index()]));
-            machine.good[gate.output.index()] = Logic::eval_gate(gate.kind, &scratch);
-            scratch.clear();
-            scratch.extend(gate.inputs.iter().map(|&n| machine.faulty[n.index()]));
-            let faulty_value = Logic::eval_gate(gate.kind, &scratch);
+            machine.good[gate.output.index()] =
+                kernel::eval_gate_at(gate.kind, &gate.inputs, &machine.good);
+            let faulty_value = kernel::eval_gate_at(gate.kind, &gate.inputs, &machine.faulty);
             machine.faulty[gate.output.index()] = if gate.output == fault.net {
                 Logic::from_bool(fault.stuck_at_one)
             } else {
@@ -218,7 +209,7 @@ impl Podem {
     /// status (at least one machine still evaluates it to X) but which has a
     /// fault effect (good ≠ faulty, both known) on at least one input.
     fn d_frontier(&self, netlist: &Netlist, machine: &Machine) -> Option<GateId> {
-        for &gate_id in &self.order {
+        for &gate_id in self.kernel.order() {
             let gate = netlist.gate(gate_id);
             let good_out = machine.good[gate.output.index()];
             let faulty_out = machine.faulty[gate.output.index()];
@@ -282,10 +273,7 @@ mod tests {
 
     fn check_test_detects(netlist: &Netlist, fault: Fault, test: &[Logic]) -> bool {
         // Fill X with 0 and fault-simulate the single pattern.
-        let pattern: Vec<bool> = test
-            .iter()
-            .map(|v| v.to_bool().unwrap_or(false))
-            .collect();
+        let pattern: Vec<bool> = test.iter().map(|v| v.to_bool().unwrap_or(false)).collect();
         let sim = FaultSim::new(netlist);
         sim.detect(netlist, &[fault], &[pattern])[0]
     }

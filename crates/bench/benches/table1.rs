@@ -17,7 +17,10 @@ fn table1(c: &mut Criterion) {
         .map(|name| run_comparison(&bench_circuit(name), &options))
         .collect();
     let report = Table1Report { rows };
-    println!("\nTable I (scaled bench circuits)\n{}", report.to_table_string());
+    println!(
+        "\nTable I (scaled bench circuits)\n{}",
+        report.to_table_string()
+    );
     println!(
         "average improvement vs traditional: dynamic {:.1}%, static {:.1}%\n",
         report.average_dynamic_improvement(),

@@ -161,7 +161,9 @@ mod tests {
         let q_short = n.ensure_net("q_short");
         let mut chain = q_long;
         for i in 0..6 {
-            chain = n.add_gate(GateKind::Nand, &[chain, a], &format!("c{i}")).output;
+            chain = n
+                .add_gate(GateKind::Nand, &[chain, a], &format!("c{i}"))
+                .output;
         }
         let merge = n.add_gate(GateKind::Nand, &[chain, q_short], "merge");
         n.mark_output(merge.output);

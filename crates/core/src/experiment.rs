@@ -59,7 +59,10 @@ impl CircuitRow {
     /// (percent).
     #[must_use]
     pub fn dynamic_improvement_vs_traditional(&self) -> f64 {
-        improvement(self.traditional.dynamic_per_hz_uw, self.proposed.dynamic_per_hz_uw)
+        improvement(
+            self.traditional.dynamic_per_hz_uw,
+            self.proposed.dynamic_per_hz_uw,
+        )
     }
 
     /// Static improvement of the proposed structure over traditional scan
@@ -73,7 +76,10 @@ impl CircuitRow {
     /// (percent).
     #[must_use]
     pub fn dynamic_improvement_vs_input_control(&self) -> f64 {
-        improvement(self.input_control.dynamic_per_hz_uw, self.proposed.dynamic_per_hz_uw)
+        improvement(
+            self.input_control.dynamic_per_hz_uw,
+            self.proposed.dynamic_per_hz_uw,
+        )
     }
 
     /// Static improvement of the proposed structure over input control
@@ -93,7 +99,7 @@ fn improvement(reference: f64, improved: f64) -> f64 {
 }
 
 /// Options of the per-circuit experiment.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct ExperimentOptions {
     /// ATPG configuration used to generate the test set.
     pub atpg: AtpgConfig,
@@ -101,16 +107,6 @@ pub struct ExperimentOptions {
     pub max_patterns: Option<usize>,
     /// Options of the proposed flow.
     pub proposed: ProposedOptions,
-}
-
-impl Default for ExperimentOptions {
-    fn default() -> Self {
-        ExperimentOptions {
-            atpg: AtpgConfig::default(),
-            max_patterns: None,
-            proposed: ProposedOptions::default(),
-        }
-    }
 }
 
 impl ExperimentOptions {
@@ -218,8 +214,11 @@ impl CircuitExperiment {
         let proposed_config = proposed_result
             .structure
             .shift_config(&proposed_result.scan_mode_pi);
-        let proposed =
-            self.evaluate_scheme(proposed_result.structure.netlist(), &adapted, &proposed_config);
+        let proposed = self.evaluate_scheme(
+            proposed_result.structure.netlist(),
+            &adapted,
+            &proposed_config,
+        );
 
         CircuitRow {
             circuit: netlist.name().to_owned(),
@@ -284,14 +283,22 @@ impl Table1Report {
     /// (percent).
     #[must_use]
     pub fn average_dynamic_improvement(&self) -> f64 {
-        average(self.rows.iter().map(CircuitRow::dynamic_improvement_vs_traditional))
+        average(
+            self.rows
+                .iter()
+                .map(CircuitRow::dynamic_improvement_vs_traditional),
+        )
     }
 
     /// Average static improvement over traditional scan across all rows
     /// (percent).
     #[must_use]
     pub fn average_static_improvement(&self) -> f64 {
-        average(self.rows.iter().map(CircuitRow::static_improvement_vs_traditional))
+        average(
+            self.rows
+                .iter()
+                .map(CircuitRow::static_improvement_vs_traditional),
+        )
     }
 }
 
@@ -364,8 +371,11 @@ mod tests {
         assert!(text.contains("s344"));
         assert!(text.contains("s382"));
         for row in &report.rows {
-            assert!(row.dynamic_improvement_vs_traditional() > 0.0,
-                "{}: proposed must reduce dynamic power", row.circuit);
+            assert!(
+                row.dynamic_improvement_vs_traditional() > 0.0,
+                "{}: proposed must reduce dynamic power",
+                row.circuit
+            );
         }
         assert!(report.average_dynamic_improvement() > 0.0);
     }

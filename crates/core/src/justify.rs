@@ -225,7 +225,11 @@ impl Justifier {
             if unknown.is_empty() {
                 return None;
             }
-            let next_value = if gate.kind.is_inverting() { !value } else { value };
+            let next_value = if gate.kind.is_inverting() {
+                !value
+            } else {
+                value
+            };
             let chosen = self
                 .select_candidate(&unknown, next_value, observability)
                 .unwrap_or(unknown[0]);

@@ -79,15 +79,12 @@ impl ControlPatternFinder {
     ) -> ControlPattern {
         let mut justifier = Justifier::new(netlist, controlled, self.directive);
         justifier.set_backtrack_limit(self.backtrack_limit);
-        let mut worklist =
-            TransitionWorklist::new(netlist, transition_sources, justifier.values());
+        let mut worklist = TransitionWorklist::new(netlist, transition_sources, justifier.values());
 
         let mut stats = PatternStats::default();
         let max_iterations = netlist.gate_count() * 2 + 16;
 
-        while let Some((mc_tg, mc_tn)) =
-            worklist.most_capacitive_gate(netlist, &self.capacitance)
-        {
+        while let Some((mc_tg, mc_tn)) = worklist.most_capacitive_gate(netlist, &self.capacitance) {
             stats.iterations += 1;
             if stats.iterations > max_iterations {
                 break;
@@ -195,7 +192,9 @@ impl ControlPattern {
     /// Number of controlled inputs still at don't-care.
     #[must_use]
     pub fn dont_care_inputs(&self) -> usize {
-        self.controlled.len().saturating_sub(self.specified_inputs())
+        self.controlled
+            .len()
+            .saturating_sub(self.specified_inputs())
     }
 
     /// Fraction of transition gates that were successfully blocked.
@@ -251,13 +250,16 @@ mod tests {
         let pseudo = n.pseudo_inputs();
         controlled.extend(&pseudo[..2]);
         let sources = vec![pseudo[2]];
-        let pattern =
-            ControlPatternFinder::default().find(&n, &controlled, &sources, &obs);
+        let pattern = ControlPatternFinder::default().find(&n, &controlled, &sources, &obs);
         assert!(pattern.blocking_ratio() > 0.5);
         assert!(pattern.specified_inputs() > 0);
         assert!(pattern.specified_inputs() <= controlled.len());
         // Transition sources must never be assigned.
-        let source_position = n.combinational_inputs().iter().position(|&x| x == pseudo[2]).unwrap();
+        let source_position = n
+            .combinational_inputs()
+            .iter()
+            .position(|&x| x == pseudo[2])
+            .unwrap();
         assert_eq!(pattern.assignment[source_position], Logic::X);
     }
 
@@ -330,10 +332,18 @@ mod tests {
         let half = pseudo.len() / 2;
         controlled.extend(&pseudo[..half]);
         let sources: Vec<NetId> = pseudo[half..].to_vec();
-        let directed = ControlPatternFinder::new(Directive::LeakageObservability)
-            .find(&circuit, &controlled, &sources, &obs);
-        let undirected = ControlPatternFinder::new(Directive::FirstAvailable)
-            .find(&circuit, &controlled, &sources, &obs);
+        let directed = ControlPatternFinder::new(Directive::LeakageObservability).find(
+            &circuit,
+            &controlled,
+            &sources,
+            &obs,
+        );
+        let undirected = ControlPatternFinder::new(Directive::FirstAvailable).find(
+            &circuit,
+            &controlled,
+            &sources,
+            &obs,
+        );
         // Both must block a sizeable share of the transition gates.
         assert!(directed.blocking_ratio() > 0.3);
         assert!(undirected.blocking_ratio() > 0.3);

@@ -26,7 +26,14 @@ pub struct ProposedOptions {
     /// Optionally restrict the MUX plan to a fraction of the muxable cells
     /// (MUX-coverage ablation). `None` keeps every muxable cell.
     pub mux_fraction: Option<f64>,
-    /// Seed for the randomised steps (don't-care fill).
+    /// When `Some(blocks)`, the leakage-observability forward pass estimates
+    /// signal probabilities by bit-parallel Monte-Carlo over the 64-wide
+    /// simulation kernel (`blocks` × 64 random states) instead of the
+    /// analytic independence approximation — exact under reconvergent
+    /// fanout, at the cost of `blocks` simulation passes.
+    pub sampled_observability: Option<usize>,
+    /// Seed for the randomised steps (don't-care fill, sampled
+    /// observability).
     pub seed: u64,
 }
 
@@ -38,7 +45,8 @@ impl Default for ProposedOptions {
             ivc_samples: 128,
             delay_model: DelayModel::default(),
             mux_fraction: None,
-            seed: 0x0da7_e200_5,
+            sampled_observability: None,
+            seed: 0x0da7_e2005,
         }
     }
 }
@@ -97,8 +105,17 @@ impl ProposedMethod {
             plan = plan.limited_to_fraction(fraction);
         }
 
-        // Step 2: leakage observability of every line.
-        let observability = LeakageObservability::compute(netlist, &self.library);
+        // Step 2: leakage observability of every line. The sampled variant
+        // runs the forward pass on the 64-wide packed kernel.
+        let observability = match self.options.sampled_observability {
+            Some(blocks) => LeakageObservability::compute_sampled(
+                netlist,
+                &self.library,
+                blocks,
+                self.options.seed,
+            ),
+            None => LeakageObservability::compute(netlist, &self.library),
+        };
 
         // Step 3: FindControlledInputPattern().
         let directive = if self.options.leakage_directed {
@@ -109,8 +126,12 @@ impl ProposedMethod {
         let mut controlled = netlist.primary_inputs().to_vec();
         controlled.extend(plan.muxed_nets());
         let sources = plan.unmuxed_nets();
-        let pattern =
-            ControlPatternFinder::new(directive).find(netlist, &controlled, &sources, &observability);
+        let pattern = ControlPatternFinder::new(directive).find(
+            netlist,
+            &controlled,
+            &sources,
+            &observability,
+        );
 
         // Step 4: fill the remaining don't-care controlled inputs with a
         // simulation-based minimum-leakage search. The non-multiplexed
@@ -126,7 +147,12 @@ impl ProposedMethod {
             .map(|(i, _)| i)
             .collect();
         let ivc = InputVectorControl::with_budget(self.options.ivc_samples, self.options.seed);
-        let filled = ivc.search_subset(netlist, &estimator, &pattern.assignment, &controlled_positions);
+        let filled = ivc.search_subset(
+            netlist,
+            &estimator,
+            &pattern.assignment,
+            &controlled_positions,
+        );
 
         // Final scan-mode values of the original combinational inputs.
         let scan_mode_inputs = filled.pattern.clone();
@@ -269,6 +295,18 @@ mod tests {
         };
         let stripped = ProposedMethod::new(options).apply(&circuit).unwrap();
         assert!(stripped.reorder.is_none());
+    }
+
+    #[test]
+    fn sampled_observability_runs_the_full_flow() {
+        let circuit = CircuitFamily::iscas89_like("s344").unwrap().generate(6);
+        let options = ProposedOptions {
+            sampled_observability: Some(8),
+            ..ProposedOptions::default()
+        };
+        let result = ProposedMethod::new(options).apply(&circuit).unwrap();
+        assert!(result.structure.netlist().validate().is_ok());
+        assert!(result.scan_mode_leakage_na > 0.0);
     }
 
     #[test]

@@ -56,20 +56,20 @@ impl ScanStructure {
             let value = constant.to_bool().unwrap_or(false);
             let constant_net = if value {
                 *const_one.get_or_insert_with(|| {
-                    netlist.add_gate(GateKind::Const1, &[], "scan_tie_one").output
+                    netlist
+                        .add_gate(GateKind::Const1, &[], "scan_tie_one")
+                        .output
                 })
             } else {
                 *const_zero.get_or_insert_with(|| {
-                    netlist.add_gate(GateKind::Const0, &[], "scan_tie_zero").output
+                    netlist
+                        .add_gate(GateKind::Const0, &[], "scan_tie_zero")
+                        .output
                 })
             };
             let q = netlist.dff(index).q;
             let mux_name = format!("{}_psmux", netlist.net(q).name);
-            let mux = netlist.add_gate(
-                GateKind::Mux,
-                &[scan_enable, q, constant_net],
-                &mux_name,
-            );
+            let mux = netlist.add_gate(GateKind::Mux, &[scan_enable, q, constant_net], &mux_name);
             netlist.move_loads(q, mux.output, Some(mux.gate));
             mux_constants[index] = Some(Logic::from_bool(value));
         }
@@ -245,7 +245,10 @@ mod tests {
         let sta = Sta::default();
         let before = sta.analyze(&original).unwrap().critical_delay();
         let after = sta.analyze(structure.netlist()).unwrap().critical_delay();
-        assert!(after <= before + 1e-9, "critical path grew: {before} -> {after}");
+        assert!(
+            after <= before + 1e-9,
+            "critical path grew: {before} -> {after}"
+        );
     }
 
     #[test]

@@ -95,7 +95,7 @@ impl TransitionWorklist {
                     .filter(|&(i, _)| i != pin)
                     .map(|(_, &n)| values[n.index()])
                     .collect();
-                if side_inputs.iter().any(|&v| v == controlling) {
+                if side_inputs.contains(&controlling) {
                     // Blocked: a side input carries the controlling value.
                     continue;
                 }
@@ -151,15 +151,11 @@ impl TransitionWorklist {
         netlist: &Netlist,
         capacitance: &scanpower_timing::CapacitanceModel,
     ) -> Option<(GateId, NetId)> {
-        let gate = self
-            .transition_gates
-            .iter()
-            .copied()
-            .max_by(|&a, &b| {
-                capacitance
-                    .gate_output_load(netlist, a)
-                    .total_cmp(&capacitance.gate_output_load(netlist, b))
-            })?;
+        let gate = self.transition_gates.iter().copied().max_by(|&a, &b| {
+            capacitance
+                .gate_output_load(netlist, a)
+                .total_cmp(&capacitance.gate_output_load(netlist, b))
+        })?;
         let tn = netlist
             .gate(gate)
             .inputs

@@ -192,10 +192,12 @@ fn parse_single_arg(rest: &str, line: usize) -> Result<String> {
 }
 
 fn parse_call(definition: &str, line: usize) -> Result<(String, Vec<String>)> {
-    let open = definition.find('(').ok_or_else(|| NetlistError::ParseBench {
-        line,
-        message: "expected `FUNC(args)`".into(),
-    })?;
+    let open = definition
+        .find('(')
+        .ok_or_else(|| NetlistError::ParseBench {
+            line,
+            message: "expected `FUNC(args)`".into(),
+        })?;
     if !definition.ends_with(')') {
         return Err(NetlistError::ParseBench {
             line,
@@ -303,6 +305,10 @@ mod tests {
     fn buff_alias_is_accepted() {
         let text = "INPUT(a)\nOUTPUT(b)\nb = BUFF(a)\n";
         let n = parse(text, "alias").unwrap();
-        assert_eq!(n.gate(n.driver_gate(n.net_by_name("b").unwrap()).unwrap()).kind, GateKind::Buf);
+        assert_eq!(
+            n.gate(n.driver_gate(n.net_by_name("b").unwrap()).unwrap())
+                .kind,
+            GateKind::Buf
+        );
     }
 }

@@ -91,55 +91,6 @@ impl GateKind {
         )
     }
 
-    /// Output value when `value` is applied to every input (used for quick
-    /// sanity checks); `None` for MUX and constants.
-    #[must_use]
-    pub fn all_inputs_at(self, value: bool) -> Option<bool> {
-        match self {
-            GateKind::Buf => Some(value),
-            GateKind::Not => Some(!value),
-            GateKind::And => Some(value),
-            GateKind::Nand => Some(!value),
-            GateKind::Or => Some(value),
-            GateKind::Nor => Some(!value),
-            GateKind::Xor | GateKind::Xnor | GateKind::Mux | GateKind::Const0 | GateKind::Const1 => {
-                None
-            }
-        }
-    }
-
-    /// Evaluates the gate over fully-specified boolean inputs.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the number of inputs is not valid for the gate kind (for
-    /// example a `Mux` with other than three inputs); netlist construction
-    /// validates fanin so this cannot happen for gates obtained from a
-    /// [`crate::Netlist`].
-    #[must_use]
-    pub fn eval(self, inputs: &[bool]) -> bool {
-        match self {
-            GateKind::Buf => inputs[0],
-            GateKind::Not => !inputs[0],
-            GateKind::And => inputs.iter().all(|&v| v),
-            GateKind::Nand => !inputs.iter().all(|&v| v),
-            GateKind::Or => inputs.iter().any(|&v| v),
-            GateKind::Nor => !inputs.iter().any(|&v| v),
-            GateKind::Xor => inputs.iter().filter(|&&v| v).count() % 2 == 1,
-            GateKind::Xnor => inputs.iter().filter(|&&v| v).count() % 2 == 0,
-            GateKind::Mux => {
-                assert_eq!(inputs.len(), 3, "mux must have 3 inputs");
-                if inputs[0] {
-                    inputs[2]
-                } else {
-                    inputs[1]
-                }
-            }
-            GateKind::Const0 => false,
-            GateKind::Const1 => true,
-        }
-    }
-
     /// Valid fanin range (inclusive) for the gate kind.
     #[must_use]
     pub fn fanin_range(self) -> (usize, usize) {
@@ -206,7 +157,12 @@ impl GateKind {
     pub fn in_target_library(self) -> bool {
         matches!(
             self,
-            GateKind::Nand | GateKind::Nor | GateKind::Not | GateKind::Mux | GateKind::Const0 | GateKind::Const1
+            GateKind::Nand
+                | GateKind::Nor
+                | GateKind::Not
+                | GateKind::Mux
+                | GateKind::Const0
+                | GateKind::Const1
         )
     }
 }
@@ -266,29 +222,6 @@ mod tests {
         assert_eq!(GateKind::Xor.controlling_value(), None);
         assert_eq!(GateKind::Not.controlling_value(), None);
         assert_eq!(GateKind::Mux.controlling_value(), None);
-    }
-
-    #[test]
-    fn eval_basic_gates() {
-        assert!(GateKind::Nand.eval(&[true, false]));
-        assert!(!GateKind::Nand.eval(&[true, true]));
-        assert!(!GateKind::Nor.eval(&[true, false]));
-        assert!(GateKind::Nor.eval(&[false, false]));
-        assert!(GateKind::Xor.eval(&[true, false, false]));
-        assert!(!GateKind::Xor.eval(&[true, true]));
-        assert!(GateKind::Xnor.eval(&[true, true]));
-        assert!(GateKind::Not.eval(&[false]));
-        assert!(GateKind::Buf.eval(&[true]));
-        assert!(GateKind::Const1.eval(&[]));
-        assert!(!GateKind::Const0.eval(&[]));
-    }
-
-    #[test]
-    fn eval_mux_selects_correct_input() {
-        // inputs: [select, a, b]
-        assert!(!GateKind::Mux.eval(&[false, false, true]));
-        assert!(GateKind::Mux.eval(&[true, false, true]));
-        assert!(GateKind::Mux.eval(&[false, true, false]));
     }
 
     #[test]

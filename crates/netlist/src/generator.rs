@@ -195,9 +195,7 @@ impl CircuitFamily {
             let kind = pick_kind(&mut rng);
             let fanin = pick_fanin(&mut rng, kind);
             let inputs = pick_inputs(&mut rng, &pool, &mut unused, fanin);
-            let output = netlist
-                .add_gate(kind, &inputs, &format!("g{i}"))
-                .output;
+            let output = netlist.add_gate(kind, &inputs, &format!("g{i}")).output;
             pool.push(output);
             unused.push(output);
             gate_outputs.push(output);

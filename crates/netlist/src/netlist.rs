@@ -252,7 +252,8 @@ impl Netlist {
     /// Q net id.
     pub fn add_dff(&mut self, d: NetId, name: &str) -> NetId {
         let q = self.ensure_net(name);
-        self.try_add_dff_driving(d, q).expect("invalid dff construction");
+        self.try_add_dff_driving(d, q)
+            .expect("invalid dff construction");
         q
     }
 
@@ -497,10 +498,9 @@ impl Netlist {
                 )));
             }
             for &(gate, pin) in &net.loads {
-                let g = self
-                    .gates
-                    .get(gate.index())
-                    .ok_or_else(|| NetlistError::Validation(format!("net `{}` loads a missing gate", net.name)))?;
+                let g = self.gates.get(gate.index()).ok_or_else(|| {
+                    NetlistError::Validation(format!("net `{}` loads a missing gate", net.name))
+                })?;
                 if g.inputs.get(pin) != Some(&NetId::from_index(index)) {
                     return Err(NetlistError::Validation(format!(
                         "load bookkeeping of net `{}` is stale",

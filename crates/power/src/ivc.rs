@@ -3,7 +3,8 @@ use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 
 use scanpower_netlist::Netlist;
-use scanpower_sim::{Evaluator, Logic};
+use scanpower_sim::kernel::pack_logic_patterns;
+use scanpower_sim::{Logic, PackedWord, SimKernel};
 
 use crate::leakage::LeakageEstimator;
 
@@ -15,6 +16,11 @@ use crate::leakage::LeakageEstimator;
 /// to assign the controlled inputs that are still don't-care after
 /// `FindControlledInputPattern()` finishes ("the number of the required
 /// simulations is far less than the total possible vectors").
+///
+/// The Monte-Carlo sampling runs on the 64-wide packed simulation kernel:
+/// candidate vectors are evaluated in blocks of up to 64 per topological
+/// pass ([`IvcResult::sim_passes`] counts the passes), so the search costs
+/// ~64× fewer circuit evaluations than a scalar loop.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct InputVectorControl {
     /// Number of random completions to evaluate.
@@ -52,6 +58,8 @@ impl InputVectorControl {
     /// [`Logic::X`] are free and will be assigned, known positions are kept.
     /// Returns the best complete vector found and its leakage.
     ///
+    /// [`Evaluator::inputs`]: scanpower_sim::Evaluator::inputs
+    ///
     /// # Panics
     ///
     /// Panics if `template` has the wrong width.
@@ -88,10 +96,10 @@ impl InputVectorControl {
         template: &[Logic],
         free: &[usize],
     ) -> IvcResult {
-        let evaluator = Evaluator::new(netlist);
+        let mut kernel = SimKernel::<PackedWord>::new(netlist);
         assert_eq!(
             template.len(),
-            evaluator.inputs().len(),
+            kernel.inputs().len(),
             "one template entry per combinational input"
         );
         let free: Vec<usize> = free
@@ -100,43 +108,53 @@ impl InputVectorControl {
             .filter(|&i| !template[i].is_known())
             .collect();
 
+        // Candidate generation order matters for tie-breaking (the first
+        // best vector wins): deterministic corner fills, then the random
+        // completions.
         let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
-        let mut best_vector: Option<Vec<Logic>> = None;
-        let mut best_leakage = f64::INFINITY;
-        let mut evaluated = 0usize;
-
-        let mut consider = |candidate: Vec<Logic>, evaluated: &mut usize| {
-            let values = evaluator.evaluate(netlist, &candidate);
-            let leakage = estimator.circuit_leakage(netlist, &values);
-            *evaluated += 1;
-            if leakage < best_leakage {
-                best_leakage = leakage;
-                best_vector = Some(candidate);
-            }
-        };
-
-        // Deterministic corner candidates first: all-zero and all-one fills.
+        let mut candidates: Vec<Vec<Logic>> = Vec::new();
         for fill in [Logic::Zero, Logic::One] {
             let mut candidate = template.to_vec();
             for &i in &free {
                 candidate[i] = fill;
             }
-            consider(candidate, &mut evaluated);
+            candidates.push(candidate);
         }
-        // Random completions.
-        let random_budget = self.samples.saturating_sub(2).min(1usize << free.len().min(20));
+        let random_budget = self
+            .samples
+            .saturating_sub(2)
+            .min(1usize << free.len().min(20));
         for _ in 0..random_budget {
             let mut candidate = template.to_vec();
             for &i in &free {
                 candidate[i] = Logic::from_bool(rng.gen_bool(0.5));
             }
-            consider(candidate, &mut evaluated);
+            candidates.push(candidate);
         }
 
+        // Evaluate 64 candidates per kernel pass.
+        let mut best_index = 0usize;
+        let mut best_leakage = f64::INFINITY;
+        let mut sim_passes = 0usize;
+        for (block_index, block) in candidates.chunks(64).enumerate() {
+            let packed_inputs = pack_logic_patterns(block);
+            let values = kernel.evaluate(netlist, &packed_inputs);
+            sim_passes += 1;
+            let leakages = estimator.circuit_leakage_lanes(netlist, values, block.len());
+            for (lane, leakage) in leakages.into_iter().enumerate() {
+                if leakage < best_leakage {
+                    best_leakage = leakage;
+                    best_index = block_index * 64 + lane;
+                }
+            }
+        }
+
+        let evaluated = candidates.len();
         IvcResult {
-            pattern: best_vector.expect("at least the corner candidates were evaluated"),
+            pattern: candidates.swap_remove(best_index),
             leakage_na: best_leakage,
             evaluated,
+            sim_passes,
         }
     }
 }
@@ -151,6 +169,9 @@ pub struct IvcResult {
     pub leakage_na: f64,
     /// Number of vectors simulated during the search.
     pub evaluated: usize,
+    /// Number of 64-wide simulation passes the search needed (the scalar
+    /// equivalent would have needed one pass per evaluated vector).
+    pub sim_passes: usize,
 }
 
 #[cfg(test)]
@@ -158,6 +179,7 @@ mod tests {
     use super::*;
     use crate::leakage::LeakageLibrary;
     use scanpower_netlist::bench;
+    use scanpower_sim::Evaluator;
 
     #[test]
     fn search_respects_fixed_positions() {
@@ -182,10 +204,9 @@ mod tests {
         let estimator = LeakageEstimator::new(&n, &library);
         let width = n.combinational_inputs().len();
         let evaluator = Evaluator::new(&n);
-        let zeros = estimator
-            .circuit_leakage(&n, &evaluator.evaluate(&n, &vec![Logic::Zero; width]));
-        let ones =
-            estimator.circuit_leakage(&n, &evaluator.evaluate(&n, &vec![Logic::One; width]));
+        let zeros =
+            estimator.circuit_leakage(&n, &evaluator.evaluate(&n, &vec![Logic::Zero; width]));
+        let ones = estimator.circuit_leakage(&n, &evaluator.evaluate(&n, &vec![Logic::One; width]));
         let result =
             InputVectorControl::with_budget(128, 2).search(&n, &estimator, &vec![Logic::X; width]);
         assert!(result.leakage_na <= zeros.min(ones) + 1e-9);
@@ -213,5 +234,39 @@ mod tests {
         let template = vec![Logic::One; width];
         let result = InputVectorControl::new().search(&n, &estimator, &template);
         assert_eq!(result.pattern, template);
+    }
+
+    #[test]
+    fn reported_leakage_matches_scalar_recomputation() {
+        // The packed search must report exactly the leakage the scalar
+        // estimator assigns to the winning vector.
+        let n = bench::parse(bench::S27_BENCH, "s27").unwrap();
+        let library = LeakageLibrary::cmos45();
+        let estimator = LeakageEstimator::new(&n, &library);
+        let width = n.combinational_inputs().len();
+        let result =
+            InputVectorControl::with_budget(96, 5).search(&n, &estimator, &vec![Logic::X; width]);
+        let evaluator = Evaluator::new(&n);
+        let scalar = estimator.circuit_leakage(&n, &evaluator.evaluate(&n, &result.pattern));
+        assert!((result.leakage_na - scalar).abs() < 1e-9);
+    }
+
+    #[test]
+    fn search_amortises_simulation_passes() {
+        // 258 candidate vectors (2 corners + 256 random) must fit in a
+        // handful of 64-wide passes: at least 10× fewer passes than vectors.
+        let n = bench::parse(bench::S27_BENCH, "s27").unwrap();
+        let library = LeakageLibrary::cmos45();
+        let estimator = LeakageEstimator::new(&n, &library);
+        let width = n.combinational_inputs().len();
+        let result =
+            InputVectorControl::with_budget(258, 3).search(&n, &estimator, &vec![Logic::X; width]);
+        assert!(result.evaluated >= 64);
+        assert!(
+            result.evaluated >= 10 * result.sim_passes,
+            "{} vectors in {} passes",
+            result.evaluated,
+            result.sim_passes
+        );
     }
 }

@@ -1,7 +1,7 @@
 use serde::{Deserialize, Serialize};
 
 use scanpower_netlist::{GateId, GateKind, Netlist};
-use scanpower_sim::Logic;
+use scanpower_sim::{Logic, PackedWord};
 
 use crate::model::{self, LeakageParams, VDD};
 
@@ -121,31 +121,57 @@ impl LeakageEstimator {
     pub fn gate_leakage(&self, netlist: &Netlist, gate: GateId, values: &[Logic]) -> f64 {
         let table = &self.tables[gate.index()];
         let g = netlist.gate(gate);
-        let mut base_state = 0u32;
-        let mut unknown_pins: Vec<usize> = Vec::new();
-        for (pin, &input) in g.inputs.iter().enumerate() {
-            match values[input.index()] {
-                Logic::One => base_state |= 1 << pin,
-                Logic::Zero => {}
-                Logic::X => unknown_pins.push(pin),
+        averaged_table_lookup(table, g.inputs.iter().map(|&input| values[input.index()]))
+    }
+
+    /// Leakage current (nA) of a single gate in lane `lane` of a packed
+    /// 64-state simulation result. Unknown inputs are averaged over both
+    /// values, exactly like the scalar [`LeakageEstimator::gate_leakage`].
+    #[must_use]
+    pub fn gate_leakage_lane(
+        &self,
+        netlist: &Netlist,
+        gate: GateId,
+        values: &[PackedWord],
+        lane: usize,
+    ) -> f64 {
+        let table = &self.tables[gate.index()];
+        let g = netlist.gate(gate);
+        averaged_table_lookup(
+            table,
+            g.inputs
+                .iter()
+                .map(|&input| values[input.index()].lane(lane)),
+        )
+    }
+
+    /// Total leakage current (nA) of the combinational part for each of the
+    /// first `lanes` circuit states of a packed simulation result (one
+    /// [`PackedWord`] per net, as produced by
+    /// [`SimKernel`](scanpower_sim::SimKernel)`::<PackedWord>::evaluate`).
+    ///
+    /// One topological simulation pass feeds up to 64 leakage evaluations —
+    /// this is the 64-wide path behind the Monte-Carlo minimum-leakage
+    /// vector search.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes > 64`.
+    #[must_use]
+    pub fn circuit_leakage_lanes(
+        &self,
+        netlist: &Netlist,
+        values: &[PackedWord],
+        lanes: usize,
+    ) -> Vec<f64> {
+        assert!(lanes <= 64, "a packed word holds at most 64 lanes");
+        let mut totals = vec![0.0f64; lanes];
+        for gate in netlist.gate_ids() {
+            for (lane, total) in totals.iter_mut().enumerate() {
+                *total += self.gate_leakage_lane(netlist, gate, values, lane);
             }
         }
-        if unknown_pins.is_empty() {
-            return table[base_state as usize];
-        }
-        // Average over every completion of the unknown pins.
-        let combinations = 1u32 << unknown_pins.len();
-        let mut total = 0.0;
-        for completion in 0..combinations {
-            let mut state = base_state;
-            for (bit, &pin) in unknown_pins.iter().enumerate() {
-                if (completion >> bit) & 1 == 1 {
-                    state |= 1 << pin;
-                }
-            }
-            total += table[state as usize];
-        }
-        total / f64::from(combinations)
+        totals
     }
 
     /// Total leakage current (nA) of the combinational part of the circuit
@@ -166,6 +192,35 @@ impl LeakageEstimator {
         self.library
             .current_to_power_uw(self.circuit_leakage(netlist, values))
     }
+}
+
+/// Looks up `table` at the state formed by the pin values, averaging over
+/// every completion of the unknown pins.
+fn averaged_table_lookup(table: &[f64], pins: impl Iterator<Item = Logic>) -> f64 {
+    let mut base_state = 0u32;
+    let mut unknown_pins: Vec<usize> = Vec::new();
+    for (pin, value) in pins.enumerate() {
+        match value {
+            Logic::One => base_state |= 1 << pin,
+            Logic::Zero => {}
+            Logic::X => unknown_pins.push(pin),
+        }
+    }
+    if unknown_pins.is_empty() {
+        return table[base_state as usize];
+    }
+    let combinations = 1u32 << unknown_pins.len();
+    let mut total = 0.0;
+    for completion in 0..combinations {
+        let mut state = base_state;
+        for (bit, &pin) in unknown_pins.iter().enumerate() {
+            if (completion >> bit) & 1 == 1 {
+                state |= 1 << pin;
+            }
+        }
+        total += table[state as usize];
+    }
+    total / f64::from(combinations)
 }
 
 /// Running average of leakage over a sequence of observed circuit states
@@ -279,15 +334,49 @@ mod tests {
         let library = LeakageLibrary::cmos45();
         let estimator = LeakageEstimator::new(&n, &library);
         let ev = Evaluator::new(&n);
-        let zeros = estimator.circuit_leakage(
-            &n,
-            &ev.evaluate(&n, &vec![Logic::Zero; ev.inputs().len()]),
-        );
-        let ones = estimator.circuit_leakage(
-            &n,
-            &ev.evaluate(&n, &vec![Logic::One; ev.inputs().len()]),
-        );
+        let zeros =
+            estimator.circuit_leakage(&n, &ev.evaluate(&n, &vec![Logic::Zero; ev.inputs().len()]));
+        let ones =
+            estimator.circuit_leakage(&n, &ev.evaluate(&n, &vec![Logic::One; ev.inputs().len()]));
         assert_ne!(zeros, ones);
+    }
+
+    #[test]
+    fn packed_lane_leakage_matches_scalar() {
+        use scanpower_sim::kernel::pack_logic_patterns;
+        use scanpower_sim::{PackedWord, SimKernel};
+
+        let n = bench::parse(bench::S27_BENCH, "s27").unwrap();
+        let library = LeakageLibrary::cmos45();
+        let estimator = LeakageEstimator::new(&n, &library);
+        let ev = Evaluator::new(&n);
+        let width = ev.inputs().len();
+
+        // 16 patterns mixing known and unknown inputs.
+        let patterns: Vec<Vec<Logic>> = (0..16u32)
+            .map(|index| {
+                (0..width)
+                    .map(|bit| match (index >> (bit % 16)) & 3 {
+                        0 => Logic::Zero,
+                        1 => Logic::One,
+                        _ => Logic::X,
+                    })
+                    .collect()
+            })
+            .collect();
+        let mut kernel = SimKernel::<PackedWord>::new(&n);
+        let packed = kernel
+            .evaluate(&n, &pack_logic_patterns(&patterns))
+            .to_vec();
+        let lanes = estimator.circuit_leakage_lanes(&n, &packed, patterns.len());
+        for (lane, pattern) in patterns.iter().enumerate() {
+            let scalar = estimator.circuit_leakage(&n, &ev.evaluate(&n, pattern));
+            assert!(
+                (lanes[lane] - scalar).abs() < 1e-9,
+                "lane {lane}: {} != {scalar}",
+                lanes[lane]
+            );
+        }
     }
 
     #[test]

@@ -257,12 +257,10 @@ mod tests {
         let p = LeakageParams::cmos45();
         // The "01 vs 10" asymmetry the reordering step exploits.
         assert!(
-            gate_leakage(&p, GateKind::Nand, 2, 0b10)
-                < gate_leakage(&p, GateKind::Nand, 2, 0b01)
+            gate_leakage(&p, GateKind::Nand, 2, 0b10) < gate_leakage(&p, GateKind::Nand, 2, 0b01)
         );
         assert!(
-            gate_leakage(&p, GateKind::Nor, 2, 0b01)
-                < gate_leakage(&p, GateKind::Nor, 2, 0b10)
+            gate_leakage(&p, GateKind::Nor, 2, 0b01) < gate_leakage(&p, GateKind::Nor, 2, 0b10)
         );
     }
 

@@ -1,4 +1,7 @@
-use scanpower_netlist::{GateKind, NetId, Netlist, topo};
+use scanpower_netlist::{topo, GateId, GateKind, NetId, Netlist};
+use scanpower_sim::kernel::pack_bool_patterns;
+use scanpower_sim::patterns::random_bool_patterns;
+use scanpower_sim::{LogicWord, PackedWord, SimKernel};
 
 use crate::leakage::LeakageLibrary;
 
@@ -29,7 +32,9 @@ pub struct LeakageObservability {
 }
 
 impl LeakageObservability {
-    /// Computes leakage observabilities for every net of `netlist`.
+    /// Computes leakage observabilities for every net of `netlist`, with
+    /// signal probabilities propagated analytically under an input-
+    /// independence assumption.
     ///
     /// # Panics
     ///
@@ -51,10 +56,70 @@ impl LeakageObservability {
             probability[gate.output.index()] = output_probability(gate.kind, &input_probabilities);
         }
 
-        // Backward pass: accumulate observabilities in reverse topological
-        // order. When a gate is processed, the observability of its output
-        // is final because every load of that output is a later gate.
-        let mut observability = vec![0.0f64; net_count];
+        Self::from_probabilities(netlist, library, &order, probability)
+    }
+
+    /// Computes leakage observabilities with signal probabilities estimated
+    /// by bit-parallel Monte-Carlo simulation over the shared 64-wide
+    /// kernel: `sample_blocks` blocks of 64 random input vectors each are
+    /// evaluated in one topological pass per block, and every net's
+    /// probability is the fraction of the `64 × sample_blocks` states in
+    /// which it was 1.
+    ///
+    /// Unlike [`LeakageObservability::compute`], the sampled forward pass is
+    /// exact under reconvergent fanout (the analytic pass assumes gate
+    /// inputs are independent); the backward accumulation is shared.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sample_blocks` is 0 or the combinational part of the
+    /// netlist is cyclic.
+    #[must_use]
+    pub fn compute_sampled(
+        netlist: &Netlist,
+        library: &LeakageLibrary,
+        sample_blocks: usize,
+        seed: u64,
+    ) -> LeakageObservability {
+        assert!(sample_blocks > 0, "at least one block of samples required");
+        let mut kernel = SimKernel::<PackedWord>::new(netlist);
+        let order = kernel.order().to_vec();
+        let width = kernel.inputs().len();
+        let net_count = netlist.net_count();
+
+        let mut ones = vec![0u64; net_count];
+        for block in 0..sample_blocks {
+            let patterns = random_bool_patterns(
+                width,
+                64,
+                seed ^ (block as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+            );
+            let inputs = pack_bool_patterns(&patterns);
+            let values = kernel.evaluate(netlist, &inputs);
+            for (count, value) in ones.iter_mut().zip(values) {
+                *count += u64::from(value.ones().count_ones());
+            }
+        }
+        let samples = (sample_blocks * PackedWord::LANES) as f64;
+        let probability: Vec<f64> = ones
+            .into_iter()
+            .map(|count| count as f64 / samples)
+            .collect();
+
+        Self::from_probabilities(netlist, library, &order, probability)
+    }
+
+    /// Backward pass shared by both forward passes: accumulates
+    /// observabilities in reverse topological order. When a gate is
+    /// processed, the observability of its output is final because every
+    /// load of that output is a later gate.
+    fn from_probabilities(
+        netlist: &Netlist,
+        library: &LeakageLibrary,
+        order: &[GateId],
+        probability: Vec<f64>,
+    ) -> LeakageObservability {
+        let mut observability = vec![0.0f64; netlist.net_count()];
         for &gate_id in order.iter().rev() {
             let gate = netlist.gate(gate_id);
             let table = library.gate_table(gate.kind, gate.fanin());
@@ -156,7 +221,7 @@ fn output_sensitivity(kind: GateKind, inputs: &[f64], pin: usize) -> f64 {
 fn expected_leakage_given(table: &[f64], inputs: &[f64], pin: usize, value: bool) -> f64 {
     let fanin = inputs.len();
     let mut expectation = 0.0;
-    for state in 0..(1usize << fanin) {
+    for (state, &entry) in table.iter().enumerate().take(1usize << fanin) {
         if ((state >> pin) & 1 == 1) != value {
             continue;
         }
@@ -167,7 +232,7 @@ fn expected_leakage_given(table: &[f64], inputs: &[f64], pin: usize, value: bool
             }
             weight *= if (state >> i) & 1 == 1 { p } else { 1.0 - p };
         }
-        expectation += weight * table[state];
+        expectation += weight * entry;
     }
     expectation
 }
@@ -208,8 +273,8 @@ mod tests {
         let obs = LeakageObservability::compute(&n, &library);
 
         // Only-local computation for `a` would look at the inverter alone.
-        let inv_local = library.gate_leakage(GateKind::Not, 1, 1)
-            - library.gate_leakage(GateKind::Not, 1, 0);
+        let inv_local =
+            library.gate_leakage(GateKind::Not, 1, 1) - library.gate_leakage(GateKind::Not, 1, 0);
         assert!(
             (obs.of(a) - inv_local).abs() > 1.0,
             "downstream NAND must contribute"
@@ -248,8 +313,73 @@ mod tests {
         let candidates = vec![a, b, c];
         let for_one = obs.preferred_candidate(&candidates, true).unwrap();
         let for_zero = obs.preferred_candidate(&candidates, false).unwrap();
-        assert_eq!(obs.of(for_one), candidates.iter().map(|&x| obs.of(x)).fold(f64::MAX, f64::min));
-        assert_eq!(obs.of(for_zero), candidates.iter().map(|&x| obs.of(x)).fold(f64::MIN, f64::max));
+        assert_eq!(
+            obs.of(for_one),
+            candidates
+                .iter()
+                .map(|&x| obs.of(x))
+                .fold(f64::MAX, f64::min)
+        );
+        assert_eq!(
+            obs.of(for_zero),
+            candidates
+                .iter()
+                .map(|&x| obs.of(x))
+                .fold(f64::MIN, f64::max)
+        );
+    }
+
+    #[test]
+    fn sampled_probabilities_converge_to_analytic_without_reconvergence() {
+        // A fanout-free tree has exact analytic probabilities, so the
+        // Monte-Carlo forward pass must agree within sampling noise and the
+        // backward pass must produce closely matching observabilities.
+        let mut n = Netlist::new("tree");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let c = n.add_input("c");
+        let d = n.add_input("d");
+        let g1 = n.add_gate(GateKind::Nand, &[a, b], "g1");
+        let g2 = n.add_gate(GateKind::Nor, &[c, d], "g2");
+        let g3 = n.add_gate(GateKind::Nand, &[g1.output, g2.output], "g3");
+        n.mark_output(g3.output);
+        let library = LeakageLibrary::cmos45();
+        let analytic = LeakageObservability::compute(&n, &library);
+        let sampled = LeakageObservability::compute_sampled(&n, &library, 64, 77);
+        for net in n.net_ids() {
+            assert!(
+                (analytic.probability(net) - sampled.probability(net)).abs() < 0.05,
+                "net {}: {} vs {}",
+                n.net(net).name,
+                analytic.probability(net),
+                sampled.probability(net)
+            );
+        }
+        for net in n.net_ids() {
+            let a_obs = analytic.of(net);
+            let s_obs = sampled.of(net);
+            assert!(
+                (a_obs - s_obs).abs() < 0.05 * a_obs.abs().max(100.0),
+                "net {}: {a_obs} vs {s_obs}",
+                n.net(net).name
+            );
+        }
+    }
+
+    #[test]
+    fn sampled_probability_is_exact_under_reconvergent_fanout() {
+        // out = AND(a, NOT(a)) is constant 0; the analytic pass (inputs
+        // assumed independent) reports 0.25, the sampled pass must see 0.
+        let mut n = Netlist::new("reconv");
+        let a = n.add_input("a");
+        let inv = n.add_gate(GateKind::Not, &[a], "inv");
+        let and = n.add_gate(GateKind::And, &[a, inv.output], "and");
+        n.mark_output(and.output);
+        let library = LeakageLibrary::cmos45();
+        let analytic = LeakageObservability::compute(&n, &library);
+        let sampled = LeakageObservability::compute_sampled(&n, &library, 8, 3);
+        assert!((analytic.probability(and.output) - 0.25).abs() < 1e-12);
+        assert_eq!(sampled.probability(and.output), 0.0);
     }
 
     #[test]
@@ -259,10 +389,7 @@ mod tests {
         let obs = LeakageObservability::compute(&n, &library);
         assert_eq!(obs.values().len(), n.net_count());
         // At least some internal lines have a non-zero attribute.
-        let nonzero = n
-            .net_ids()
-            .filter(|&net| obs.of(net).abs() > 1e-9)
-            .count();
+        let nonzero = n.net_ids().filter(|&net| obs.of(net).abs() > 1e-9).count();
         assert!(nonzero > n.primary_inputs().len());
     }
 }

@@ -41,7 +41,12 @@ impl ReorderReport {
 pub fn is_symmetric(kind: GateKind) -> bool {
     matches!(
         kind,
-        GateKind::And | GateKind::Nand | GateKind::Or | GateKind::Nor | GateKind::Xor | GateKind::Xnor
+        GateKind::And
+            | GateKind::Nand
+            | GateKind::Or
+            | GateKind::Nor
+            | GateKind::Xor
+            | GateKind::Xnor
     )
 }
 
@@ -213,8 +218,9 @@ mod tests {
         let ev = Evaluator::new(&n);
         let reference: Vec<Vec<Logic>> = (0..8u32)
             .map(|bits| {
-                let inputs: Vec<Logic> =
-                    (0..3).map(|i| Logic::from_bool((bits >> i) & 1 == 1)).collect();
+                let inputs: Vec<Logic> = (0..3)
+                    .map(|i| Logic::from_bool((bits >> i) & 1 == 1))
+                    .collect();
                 ev.evaluate(&n, &inputs)
             })
             .collect();
@@ -225,8 +231,9 @@ mod tests {
 
         let ev_after = Evaluator::new(&n);
         for bits in 0..8u32 {
-            let inputs: Vec<Logic> =
-                (0..3).map(|i| Logic::from_bool((bits >> i) & 1 == 1)).collect();
+            let inputs: Vec<Logic> = (0..3)
+                .map(|i| Logic::from_bool((bits >> i) & 1 == 1))
+                .collect();
             let after = ev_after.evaluate(&n, &inputs);
             assert_eq!(
                 after[g2.output.index()],

@@ -1,19 +1,18 @@
-use scanpower_netlist::{GateId, NetId, Netlist, topo};
+use scanpower_netlist::{GateId, NetId, Netlist};
 
+use crate::kernel::SimKernel;
 use crate::logic::Logic;
 
-/// Zero-delay evaluator of the combinational part of a netlist.
+/// Zero-delay scalar evaluator of the combinational part of a netlist.
 ///
-/// The evaluator caches the topological order of the gates so that repeated
-/// evaluations (thousands of shift cycles, Monte-Carlo leakage sampling) do
-/// not re-sort the circuit. It borrows nothing, so one evaluator can be
-/// reused across calls as long as the netlist structure does not change;
-/// rebuild it after structural edits such as MUX insertion.
+/// This is the one-state-per-pass convenience view over [`SimKernel`]: it
+/// shares the kernel's cached topological order and input mapping, keeps the
+/// borrow-free `&self` API the justification and search code relies on, and
+/// allocates a fresh value vector per call. Hot paths that want 64 circuit
+/// states per pass use [`SimKernel<PackedWord>`](crate::PackedWord) instead.
 #[derive(Debug, Clone)]
 pub struct Evaluator {
-    order: Vec<GateId>,
-    inputs: Vec<NetId>,
-    net_count: usize,
+    kernel: SimKernel<Logic>,
 }
 
 impl Evaluator {
@@ -26,9 +25,7 @@ impl Evaluator {
     #[must_use]
     pub fn new(netlist: &Netlist) -> Evaluator {
         Evaluator {
-            order: topo::topological_gates(netlist).expect("combinational part must be acyclic"),
-            inputs: netlist.combinational_inputs(),
-            net_count: netlist.net_count(),
+            kernel: SimKernel::new(netlist),
         }
     }
 
@@ -36,13 +33,19 @@ impl Evaluator {
     /// [`Evaluator::evaluate`] (primary inputs followed by pseudo-inputs).
     #[must_use]
     pub fn inputs(&self) -> &[NetId] {
-        &self.inputs
+        self.kernel.inputs()
     }
 
     /// Gates in topological order.
     #[must_use]
     pub fn order(&self) -> &[GateId] {
-        &self.order
+        self.kernel.order()
+    }
+
+    /// The shared simulation kernel backing this evaluator.
+    #[must_use]
+    pub fn kernel(&self) -> &SimKernel<Logic> {
+        &self.kernel
     }
 
     /// Evaluates the circuit of `netlist` from a complete assignment of the
@@ -59,35 +62,27 @@ impl Evaluator {
     pub fn evaluate(&self, netlist: &Netlist, input_values: &[Logic]) -> Vec<Logic> {
         assert_eq!(
             input_values.len(),
-            self.inputs.len(),
+            self.inputs().len(),
             "one value per combinational input required"
         );
-        let mut values = vec![Logic::X; self.net_count];
-        for (&net, &value) in self.inputs.iter().zip(input_values) {
+        let mut values = vec![Logic::X; self.kernel.net_count()];
+        for (&net, &value) in self.inputs().iter().zip(input_values) {
             values[net.index()] = value;
         }
-        self.propagate(netlist, &mut values);
+        self.kernel.propagate(netlist, &mut values);
         values
     }
 
     /// Re-evaluates every gate (in topological order) over a caller-provided
     /// per-net value buffer. Input nets are left untouched; every driven net
-    /// is overwritten. This is the primitive behind [`Evaluator::evaluate`]
-    /// and is also used by the fault simulator, which seeds arbitrary net
-    /// values.
+    /// is overwritten. This is [`SimKernel::propagate`] re-exposed for
+    /// callers that seed arbitrary net values.
     ///
     /// # Panics
     ///
     /// Panics if `values` is shorter than the number of nets.
     pub fn propagate(&self, netlist: &Netlist, values: &mut [Logic]) {
-        assert!(values.len() >= self.net_count, "value buffer too small");
-        let mut scratch: Vec<Logic> = Vec::with_capacity(8);
-        for &gate_id in &self.order {
-            let gate = netlist.gate(gate_id);
-            scratch.clear();
-            scratch.extend(gate.inputs.iter().map(|&n| values[n.index()]));
-            values[gate.output.index()] = Logic::eval_gate(gate.kind, &scratch);
-        }
+        self.kernel.propagate(netlist, values);
     }
 }
 

@@ -8,12 +8,16 @@
 //! combinational inputs; detection is observed at the primary outputs and at
 //! the flip-flop D inputs (full-scan observation).
 //!
-//! Simulation is bit-parallel: 64 patterns are evaluated per pass using one
-//! machine word per net.
+//! Simulation is bit-parallel through the shared
+//! [`SimKernel`](crate::SimKernel): 64 patterns are evaluated per
+//! topological pass using one [`PackedWord`] per net, for the fault-free
+//! circuit and for every fault's fanout-cone overlay alike.
 
 use serde::{Deserialize, Serialize};
 
-use scanpower_netlist::{GateId, GateKind, NetId, Netlist, topo};
+use scanpower_netlist::{topo, NetId, Netlist};
+
+use crate::kernel::{self, pack_bool_patterns, LogicWord, PackedWord, SimKernel};
 
 /// A single stuck-at fault on a net.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -33,6 +37,10 @@ impl Fault {
             netlist.net(self.net).name,
             u8::from(self.stuck_at_one)
         )
+    }
+
+    fn forced_word(&self) -> PackedWord {
+        PackedWord::splat(crate::Logic::from_bool(self.stuck_at_one))
     }
 }
 
@@ -54,11 +62,22 @@ pub fn all_net_faults(netlist: &Netlist) -> Vec<Fault> {
     faults
 }
 
+/// What one ≤64-pattern block of fault simulation detected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockDetections {
+    /// Number of faults newly detected by the block.
+    pub newly_detected: usize,
+    /// For every pattern lane of the block, how many newly detected faults
+    /// have that pattern as their *first* detecting pattern — exactly the
+    /// credit a pattern would receive if the block were fault-simulated one
+    /// pattern at a time with fault dropping.
+    pub new_per_lane: Vec<usize>,
+}
+
 /// Bit-parallel stuck-at fault simulator.
 #[derive(Debug, Clone)]
 pub struct FaultSim {
-    order: Vec<GateId>,
-    inputs: Vec<NetId>,
+    kernel: SimKernel<PackedWord>,
     observation: Vec<NetId>,
 }
 
@@ -75,8 +94,7 @@ impl FaultSim {
         observation.sort_unstable();
         observation.dedup();
         FaultSim {
-            order: topo::topological_gates(netlist).expect("acyclic"),
-            inputs: netlist.combinational_inputs(),
+            kernel: SimKernel::new(netlist),
             observation,
         }
     }
@@ -88,6 +106,31 @@ impl FaultSim {
         &self.observation
     }
 
+    /// Simulates up to 64 patterns in one kernel pass and returns the packed
+    /// fault-free value of every net (lane `k` = value under pattern `k`;
+    /// lanes beyond the block are unknown).
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than 64 patterns are passed or a pattern has the wrong
+    /// width.
+    #[must_use]
+    pub fn good_packed(&self, netlist: &Netlist, patterns: &[Vec<bool>]) -> Vec<PackedWord> {
+        assert!(patterns.len() <= 64, "at most 64 patterns per block");
+        if let Some(first) = patterns.first() {
+            assert_eq!(first.len(), self.kernel.inputs().len(), "pattern width");
+        }
+        let packed_inputs = pack_bool_patterns(patterns);
+        let mut values = vec![PackedWord::splat(crate::Logic::X); self.kernel.net_count()];
+        if !patterns.is_empty() {
+            for (&net, &word) in self.kernel.inputs().iter().zip(&packed_inputs) {
+                values[net.index()] = word;
+            }
+        }
+        self.kernel.propagate(netlist, &mut values);
+        values
+    }
+
     /// Simulates up to 64 patterns at once and returns one word per net
     /// (bit `k` = value of the net under pattern `k`).
     ///
@@ -97,18 +140,64 @@ impl FaultSim {
     /// width.
     #[must_use]
     pub fn good_values(&self, netlist: &Netlist, patterns: &[Vec<bool>]) -> Vec<u64> {
-        assert!(patterns.len() <= 64, "at most 64 patterns per block");
-        let mut values = vec![0u64; netlist.net_count()];
-        for (bit, pattern) in patterns.iter().enumerate() {
-            assert_eq!(pattern.len(), self.inputs.len(), "pattern width");
-            for (&net, &value) in self.inputs.iter().zip(pattern) {
-                if value {
-                    values[net.index()] |= 1 << bit;
-                }
+        self.good_packed(netlist, patterns)
+            .into_iter()
+            .map(PackedWord::ones)
+            .collect()
+    }
+
+    /// Fault-simulates one block of up to 64 patterns in a single fault-free
+    /// kernel pass (plus one fanout-cone overlay per still-active fault),
+    /// updating `detected` in place. Already-detected faults are skipped
+    /// (fault dropping); newly detected faults are credited to the first
+    /// pattern of the block that detects them, which makes the result
+    /// indistinguishable from simulating the block one pattern at a time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than 64 patterns are passed, a pattern has the wrong
+    /// width, or `detected.len() != faults.len()`.
+    pub fn detect_block_into(
+        &self,
+        netlist: &Netlist,
+        faults: &[Fault],
+        block: &[Vec<bool>],
+        detected: &mut [bool],
+    ) -> BlockDetections {
+        assert_eq!(faults.len(), detected.len(), "one flag per fault");
+        assert!(block.len() <= 64, "at most 64 patterns per block");
+        let mut result = BlockDetections {
+            newly_detected: 0,
+            new_per_lane: vec![0; block.len()],
+        };
+        if block.is_empty() {
+            return result;
+        }
+        let good = self.good_packed(netlist, block);
+        let active_mask = if block.len() == 64 {
+            u64::MAX
+        } else {
+            (1u64 << block.len()) - 1
+        };
+        let mut faulty = good.clone();
+        for (fault, flag) in faults.iter().zip(detected.iter_mut()) {
+            if *flag {
+                continue;
+            }
+            let forced = fault.forced_word();
+            if (good[fault.net.index()].ones() ^ forced.ones()) & active_mask == 0 {
+                // The fault is never activated by this block.
+                continue;
+            }
+            let lanes =
+                self.detecting_lanes(netlist, &good, &mut faulty, fault, forced, active_mask);
+            if lanes != 0 {
+                *flag = true;
+                result.newly_detected += 1;
+                result.new_per_lane[lanes.trailing_zeros() as usize] += 1;
             }
         }
-        self.propagate(netlist, &mut values, None);
-        values
+        result
     }
 
     /// Marks which of `faults` are detected by `patterns`, updating
@@ -126,32 +215,13 @@ impl FaultSim {
         patterns: &[Vec<bool>],
         detected: &mut [bool],
     ) -> usize {
-        assert_eq!(faults.len(), detected.len(), "one flag per fault");
-        let mut newly = 0usize;
-        for block in patterns.chunks(64) {
-            let good = self.good_values(netlist, block);
-            let active_mask = if block.len() == 64 {
-                u64::MAX
-            } else {
-                (1u64 << block.len()) - 1
-            };
-            let mut faulty = good.clone();
-            for (fault, flag) in faults.iter().zip(detected.iter_mut()) {
-                if *flag {
-                    continue;
-                }
-                let forced = if fault.stuck_at_one { u64::MAX } else { 0 };
-                if (good[fault.net.index()] ^ forced) & active_mask == 0 {
-                    // The fault is never activated by this block.
-                    continue;
-                }
-                if self.fault_detected(netlist, &good, &mut faulty, fault, forced, active_mask) {
-                    *flag = true;
-                    newly += 1;
-                }
-            }
-        }
-        newly
+        patterns
+            .chunks(64)
+            .map(|block| {
+                self.detect_block_into(netlist, faults, block, detected)
+                    .newly_detected
+            })
+            .sum()
     }
 
     /// Convenience wrapper around [`FaultSim::detect_into`] starting from an
@@ -173,18 +243,19 @@ impl FaultSim {
         detected.iter().filter(|&&d| d).count() as f64 / faults.len() as f64
     }
 
-    fn fault_detected(
+    /// Evaluates the fanout cone of the fault on top of the fault-free
+    /// values and returns the lane mask (within `active_mask`) on which the
+    /// fault effect reaches an observation point. `faulty` is restored to
+    /// `good` before returning.
+    fn detecting_lanes(
         &self,
         netlist: &Netlist,
-        good: &[u64],
-        faulty: &mut [u64],
+        good: &[PackedWord],
+        faulty: &mut [PackedWord],
         fault: &Fault,
-        forced: u64,
+        forced: PackedWord,
         active_mask: u64,
-    ) -> bool {
-        // Evaluate the fanout cone of the fault net on top of the good
-        // values, recording touched nets so the scratch buffer can be
-        // restored afterwards.
+    ) -> u64 {
         let mut touched: Vec<NetId> = vec![fault.net];
         faulty[fault.net.index()] = forced;
 
@@ -193,59 +264,30 @@ impl FaultSim {
         for &gate in &cone {
             in_cone[gate.index()] = true;
         }
-        for &gate_id in &self.order {
+        for &gate_id in self.kernel.order() {
             if !in_cone[gate_id.index()] {
                 continue;
             }
             let gate = netlist.gate(gate_id);
-            let value = eval_gate_words(gate.kind, &gate.inputs, faulty);
+            let value = kernel::eval_gate_at(gate.kind, &gate.inputs, faulty);
             if faulty[gate.output.index()] != value {
                 touched.push(gate.output);
                 faulty[gate.output.index()] = value;
             }
         }
 
+        // Accumulate over every observation point: the complete lane mask is
+        // needed so that the first-detecting-pattern credit matches a
+        // pattern-at-a-time simulation exactly.
         let mut difference = 0u64;
         for &obs in &self.observation {
-            difference |= (good[obs.index()] ^ faulty[obs.index()]) & active_mask;
-            if difference != 0 {
-                break;
-            }
+            difference |= (good[obs.index()].ones() ^ faulty[obs.index()].ones()) & active_mask;
         }
 
         for net in touched {
             faulty[net.index()] = good[net.index()];
         }
-        difference != 0
-    }
-
-    fn propagate(&self, netlist: &Netlist, values: &mut [u64], _mask: Option<u64>) {
-        for &gate_id in &self.order {
-            let gate = netlist.gate(gate_id);
-            values[gate.output.index()] = eval_gate_words(gate.kind, &gate.inputs, values);
-        }
-    }
-}
-
-fn eval_gate_words(kind: GateKind, inputs: &[NetId], values: &[u64]) -> u64 {
-    let read = |i: usize| values[inputs[i].index()];
-    match kind {
-        GateKind::Buf => read(0),
-        GateKind::Not => !read(0),
-        GateKind::And => inputs.iter().fold(u64::MAX, |acc, &n| acc & values[n.index()]),
-        GateKind::Nand => !inputs
-            .iter()
-            .fold(u64::MAX, |acc, &n| acc & values[n.index()]),
-        GateKind::Or => inputs.iter().fold(0, |acc, &n| acc | values[n.index()]),
-        GateKind::Nor => !inputs.iter().fold(0, |acc, &n| acc | values[n.index()]),
-        GateKind::Xor => inputs.iter().fold(0, |acc, &n| acc ^ values[n.index()]),
-        GateKind::Xnor => !inputs.iter().fold(0, |acc, &n| acc ^ values[n.index()]),
-        GateKind::Mux => {
-            let select = read(0);
-            (!select & read(1)) | (select & read(2))
-        }
-        GateKind::Const0 => 0,
-        GateKind::Const1 => u64::MAX,
+        difference
     }
 }
 
@@ -352,5 +394,43 @@ mod tests {
         let second = sim.detect_into(&n, &faults, &patterns, &mut detected);
         assert!(first > 0);
         assert_eq!(second, 0, "same patterns cannot detect anything new");
+    }
+
+    #[test]
+    fn block_detection_matches_pattern_at_a_time_simulation() {
+        // One 64-wide block pass must produce exactly the flags and the
+        // per-pattern credit of the sequential pattern-at-a-time loop.
+        let n = bench::parse(bench::S27_BENCH, "s27").unwrap();
+        let sim = FaultSim::new(&n);
+        let faults = all_net_faults(&n);
+        let patterns = random_bool_patterns(n.combinational_inputs().len(), 64, 9);
+
+        let mut sequential = vec![false; faults.len()];
+        let mut sequential_credit = vec![0usize; patterns.len()];
+        for (index, pattern) in patterns.iter().enumerate() {
+            sequential_credit[index] =
+                sim.detect_into(&n, &faults, std::slice::from_ref(pattern), &mut sequential);
+        }
+
+        let mut blocked = vec![false; faults.len()];
+        let block = sim.detect_block_into(&n, &faults, &patterns, &mut blocked);
+        assert_eq!(blocked, sequential);
+        assert_eq!(block.new_per_lane, sequential_credit);
+        assert_eq!(
+            block.newly_detected,
+            sequential_credit.iter().sum::<usize>()
+        );
+    }
+
+    #[test]
+    fn empty_block_detects_nothing() {
+        let n = bench::parse(bench::S27_BENCH, "s27").unwrap();
+        let sim = FaultSim::new(&n);
+        let faults = all_net_faults(&n);
+        let mut detected = vec![false; faults.len()];
+        let block = sim.detect_block_into(&n, &faults, &[], &mut detected);
+        assert_eq!(block.newly_detected, 0);
+        assert!(block.new_per_lane.is_empty());
+        assert!(detected.iter().all(|&d| !d));
     }
 }

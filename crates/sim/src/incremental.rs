@@ -1,8 +1,9 @@
 use std::collections::BTreeSet;
 
-use scanpower_netlist::{NetId, Netlist, topo};
+use scanpower_netlist::{NetId, Netlist};
 
 use crate::eval::Evaluator;
+use crate::kernel;
 use crate::logic::Logic;
 
 /// Event-driven incremental simulator.
@@ -15,8 +16,6 @@ use crate::logic::Logic;
 #[derive(Debug, Clone)]
 pub struct IncrementalSim {
     values: Vec<Logic>,
-    /// Topological position of every gate, used to order the worklist.
-    position: Vec<usize>,
     evaluator: Evaluator,
 }
 
@@ -32,17 +31,8 @@ impl IncrementalSim {
     #[must_use]
     pub fn new(netlist: &Netlist, input_values: &[Logic]) -> IncrementalSim {
         let evaluator = Evaluator::new(netlist);
-        let order = topo::topological_gates(netlist).expect("acyclic");
-        let mut position = vec![0usize; netlist.gate_count()];
-        for (pos, gate) in order.iter().enumerate() {
-            position[gate.index()] = pos;
-        }
         let values = evaluator.evaluate(netlist, input_values);
-        IncrementalSim {
-            values,
-            position,
-            evaluator,
-        }
+        IncrementalSim { values, evaluator }
     }
 
     /// Current value of every net, indexed by [`NetId::index`].
@@ -71,6 +61,7 @@ impl IncrementalSim {
     /// as changes; driving an internal net is allowed but its value will be
     /// recomputed from its driver on the next propagation through it.
     pub fn apply(&mut self, netlist: &Netlist, changes: &[(NetId, Logic)]) -> Vec<NetId> {
+        let kernel_ref = self.evaluator.kernel();
         let mut toggled = Vec::new();
         let mut worklist: BTreeSet<(usize, u32)> = BTreeSet::new();
 
@@ -79,24 +70,21 @@ impl IncrementalSim {
                 self.values[net.index()] = value;
                 toggled.push(net);
                 for &(gate, _) in netlist.loads(net) {
-                    worklist.insert((self.position[gate.index()], gate.index() as u32));
+                    worklist.insert((kernel_ref.position_of(gate), gate.index() as u32));
                 }
             }
         }
 
-        let mut scratch: Vec<Logic> = Vec::with_capacity(8);
         while let Some(&(pos, gate_index)) = worklist.iter().next() {
             worklist.remove(&(pos, gate_index));
             let gate = netlist.gate(scanpower_netlist::GateId::from_index(gate_index as usize));
-            scratch.clear();
-            scratch.extend(gate.inputs.iter().map(|&n| self.values[n.index()]));
-            let new_value = Logic::eval_gate(gate.kind, &scratch);
+            let new_value = kernel::eval_gate_at(gate.kind, &gate.inputs, &self.values);
             let output = gate.output;
             if self.values[output.index()] != new_value {
                 self.values[output.index()] = new_value;
                 toggled.push(output);
                 for &(load, _) in netlist.loads(output) {
-                    worklist.insert((self.position[load.index()], load.index() as u32));
+                    worklist.insert((kernel_ref.position_of(load), load.index() as u32));
                 }
             }
         }
@@ -121,9 +109,9 @@ impl IncrementalSim {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use scanpower_netlist::{bench, GateKind};
     use rand::{Rng, SeedableRng};
     use rand_chacha::ChaCha8Rng;
+    use scanpower_netlist::{bench, GateKind};
 
     #[test]
     fn incremental_matches_full_evaluation() {

@@ -1,0 +1,623 @@
+//! The shared simulation kernel.
+//!
+//! Every gate evaluation in the workspace goes through this module: the
+//! [`LogicWord`] trait abstracts over *how many circuit states one value
+//! carries* — one ([`Logic`]) or sixty-four ([`PackedWord`], a two-word
+//! three-valued bit-parallel encoding) — and [`SimKernel`] owns the cached
+//! topological order, the combinational-input mapping and a reusable per-net
+//! value buffer, so repeated evaluations (Monte-Carlo leakage sampling,
+//! thousands of shift cycles, fault-simulation blocks) pay the sorting and
+//! allocation cost once.
+//!
+//! [`eval_gate`] / [`eval_gate_at`] contain the **only** gate-kind `match`
+//! that evaluates logic in the entire workspace; the scalar [`Evaluator`],
+//! the incremental simulator, the fault simulator, PODEM and the packed
+//! leakage Monte-Carlo all call into it.
+//!
+//! [`Evaluator`]: crate::Evaluator
+
+use scanpower_netlist::{topo, GateId, GateKind, NetId, Netlist};
+
+use crate::logic::Logic;
+
+/// A simulation value covering one or more circuit states per net.
+///
+/// Implementations must provide Kleene (pessimistic three-valued) semantics:
+/// a lane whose value is unknown behaves like [`Logic::X`].
+pub trait LogicWord: Copy + PartialEq + std::fmt::Debug {
+    /// Number of independent circuit states carried per value.
+    const LANES: usize;
+
+    /// Broadcasts one scalar logic value to every lane.
+    fn splat(value: Logic) -> Self;
+
+    /// Lane-wise Kleene negation.
+    #[must_use]
+    fn not(self) -> Self;
+
+    /// Lane-wise Kleene AND.
+    #[must_use]
+    fn and(self, other: Self) -> Self;
+
+    /// Lane-wise Kleene OR.
+    #[must_use]
+    fn or(self, other: Self) -> Self;
+
+    /// Lane-wise Kleene XOR.
+    #[must_use]
+    fn xor(self, other: Self) -> Self;
+
+    /// Lane-wise 2:1 multiplexer: `when0` where `select` is 0, `when1`
+    /// where `select` is 1; an unknown select yields the data value only
+    /// where both data lanes agree.
+    #[must_use]
+    fn mux(select: Self, when0: Self, when1: Self) -> Self;
+}
+
+impl LogicWord for Logic {
+    const LANES: usize = 1;
+
+    fn splat(value: Logic) -> Logic {
+        value
+    }
+
+    fn not(self) -> Logic {
+        Logic::not(self)
+    }
+
+    fn and(self, other: Logic) -> Logic {
+        Logic::and(self, other)
+    }
+
+    fn or(self, other: Logic) -> Logic {
+        Logic::or(self, other)
+    }
+
+    fn xor(self, other: Logic) -> Logic {
+        Logic::xor(self, other)
+    }
+
+    fn mux(select: Logic, when0: Logic, when1: Logic) -> Logic {
+        match select {
+            Logic::Zero => when0,
+            Logic::One => when1,
+            Logic::X => {
+                if when0 == when1 {
+                    when0
+                } else {
+                    Logic::X
+                }
+            }
+        }
+    }
+}
+
+/// 64 three-valued circuit states packed into two machine words.
+///
+/// The encoding is the classic *possibility* pair: bit `k` of [`can0`] is
+/// set when lane `k` may be 0, bit `k` of [`can1`] when it may be 1. A
+/// known 0 is `(1, 0)`, a known 1 is `(0, 1)` and an unknown is `(1, 1)`;
+/// `(0, 0)` never occurs. Every Kleene connective then reduces to one or two
+/// bitwise operations over the whole 64-lane block, which is what makes the
+/// fault simulator and the leakage Monte-Carlo evaluate 64 circuit states
+/// per topological pass.
+///
+/// [`can0`]: PackedWord::can0
+/// [`can1`]: PackedWord::can1
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PackedWord {
+    can0: u64,
+    can1: u64,
+}
+
+impl PackedWord {
+    /// Bit mask of the lanes that may carry a 0.
+    #[must_use]
+    pub fn can0(self) -> u64 {
+        self.can0
+    }
+
+    /// Bit mask of the lanes that may carry a 1.
+    #[must_use]
+    pub fn can1(self) -> u64 {
+        self.can1
+    }
+
+    /// Bit mask of the lanes that definitely carry a 1.
+    #[must_use]
+    pub fn ones(self) -> u64 {
+        self.can1 & !self.can0
+    }
+
+    /// Bit mask of the lanes that definitely carry a 0.
+    #[must_use]
+    pub fn zeros(self) -> u64 {
+        self.can0 & !self.can1
+    }
+
+    /// Bit mask of the lanes whose value is unknown.
+    #[must_use]
+    pub fn unknown(self) -> u64 {
+        self.can0 & self.can1
+    }
+
+    /// Bit mask of the lanes whose value is known.
+    #[must_use]
+    pub fn known(self) -> u64 {
+        !(self.can0 & self.can1)
+    }
+
+    /// Builds a word from up to 64 lane values; missing lanes are unknown.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than 64 lanes are passed.
+    #[must_use]
+    pub fn from_lanes(lanes: &[Logic]) -> PackedWord {
+        assert!(lanes.len() <= 64, "a packed word holds at most 64 lanes");
+        let mut word = PackedWord::splat(Logic::X);
+        for (lane, &value) in lanes.iter().enumerate() {
+            word.set_lane(lane, value);
+        }
+        word
+    }
+
+    /// Value of one lane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane >= 64`.
+    #[must_use]
+    pub fn lane(self, lane: usize) -> Logic {
+        assert!(lane < 64, "lane out of range");
+        let bit = 1u64 << lane;
+        match (self.can0 & bit != 0, self.can1 & bit != 0) {
+            (true, false) => Logic::Zero,
+            (false, true) => Logic::One,
+            _ => Logic::X,
+        }
+    }
+
+    /// Sets the value of one lane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane >= 64`.
+    pub fn set_lane(&mut self, lane: usize, value: Logic) {
+        assert!(lane < 64, "lane out of range");
+        let bit = 1u64 << lane;
+        let (can0, can1) = match value {
+            Logic::Zero => (bit, 0),
+            Logic::One => (0, bit),
+            Logic::X => (bit, bit),
+        };
+        self.can0 = (self.can0 & !bit) | can0;
+        self.can1 = (self.can1 & !bit) | can1;
+    }
+}
+
+impl LogicWord for PackedWord {
+    const LANES: usize = 64;
+
+    fn splat(value: Logic) -> PackedWord {
+        match value {
+            Logic::Zero => PackedWord {
+                can0: u64::MAX,
+                can1: 0,
+            },
+            Logic::One => PackedWord {
+                can0: 0,
+                can1: u64::MAX,
+            },
+            Logic::X => PackedWord {
+                can0: u64::MAX,
+                can1: u64::MAX,
+            },
+        }
+    }
+
+    fn not(self) -> PackedWord {
+        PackedWord {
+            can0: self.can1,
+            can1: self.can0,
+        }
+    }
+
+    fn and(self, other: PackedWord) -> PackedWord {
+        PackedWord {
+            can0: self.can0 | other.can0,
+            can1: self.can1 & other.can1,
+        }
+    }
+
+    fn or(self, other: PackedWord) -> PackedWord {
+        PackedWord {
+            can0: self.can0 & other.can0,
+            can1: self.can1 | other.can1,
+        }
+    }
+
+    fn xor(self, other: PackedWord) -> PackedWord {
+        let known = self.known() & other.known();
+        let value = self.can1 ^ other.can1; // valid on known lanes only
+        PackedWord {
+            can0: (known & !value) | !known,
+            can1: (known & value) | !known,
+        }
+    }
+
+    fn mux(select: PackedWord, when0: PackedWord, when1: PackedWord) -> PackedWord {
+        PackedWord {
+            can0: (select.can0 & when0.can0) | (select.can1 & when1.can0),
+            can1: (select.can0 & when0.can1) | (select.can1 & when1.can1),
+        }
+    }
+}
+
+/// Evaluates one gate over operands gathered by the caller.
+///
+/// Together with [`eval_gate_at`] this is the single place in the workspace
+/// where a gate kind is interpreted as a logic function.
+///
+/// # Panics
+///
+/// Panics if the operand count is not valid for the gate kind.
+#[must_use]
+pub fn eval_gate<W: LogicWord>(kind: GateKind, operands: &[W]) -> W {
+    eval_gate_operands(kind, operands.iter().copied())
+}
+
+/// Evaluates one gate by reading its input nets from a per-net value buffer
+/// (indexed by [`NetId::index`]); avoids gathering into a scratch slice.
+///
+/// # Panics
+///
+/// Panics if the input count is not valid for the gate kind.
+#[must_use]
+pub fn eval_gate_at<W: LogicWord>(kind: GateKind, inputs: &[NetId], values: &[W]) -> W {
+    eval_gate_operands(kind, inputs.iter().map(|&net| values[net.index()]))
+}
+
+fn eval_gate_operands<W: LogicWord>(kind: GateKind, mut operands: impl Iterator<Item = W>) -> W {
+    match kind {
+        GateKind::Buf => operands.next().expect("buffer has one input"),
+        GateKind::Not => operands.next().expect("inverter has one input").not(),
+        GateKind::And => operands.fold(W::splat(Logic::One), W::and),
+        GateKind::Nand => operands.fold(W::splat(Logic::One), W::and).not(),
+        GateKind::Or => operands.fold(W::splat(Logic::Zero), W::or),
+        GateKind::Nor => operands.fold(W::splat(Logic::Zero), W::or).not(),
+        GateKind::Xor => operands.fold(W::splat(Logic::Zero), W::xor),
+        GateKind::Xnor => operands.fold(W::splat(Logic::Zero), W::xor).not(),
+        GateKind::Mux => {
+            let (select, when0, when1) = match (operands.next(), operands.next(), operands.next()) {
+                (Some(select), Some(when0), Some(when1)) => (select, when0, when1),
+                _ => panic!("mux must have 3 inputs"),
+            };
+            assert!(operands.next().is_none(), "mux must have 3 inputs");
+            W::mux(select, when0, when1)
+        }
+        GateKind::Const0 => W::splat(Logic::Zero),
+        GateKind::Const1 => W::splat(Logic::One),
+    }
+}
+
+/// Transposes up to 64 fully-specified boolean patterns into one
+/// [`PackedWord`] per pattern position (lane `k` = pattern `k`).
+///
+/// # Panics
+///
+/// Panics if more than 64 patterns are passed or the patterns have unequal
+/// widths.
+#[must_use]
+pub fn pack_bool_patterns(patterns: &[Vec<bool>]) -> Vec<PackedWord> {
+    assert!(patterns.len() <= 64, "at most 64 patterns per block");
+    let width = patterns.first().map_or(0, Vec::len);
+    let mut words = vec![PackedWord::splat(Logic::X); width];
+    for (lane, pattern) in patterns.iter().enumerate() {
+        assert_eq!(pattern.len(), width, "pattern width mismatch");
+        for (word, &bit) in words.iter_mut().zip(pattern) {
+            word.set_lane(lane, Logic::from_bool(bit));
+        }
+    }
+    words
+}
+
+/// Transposes up to 64 three-valued patterns into one [`PackedWord`] per
+/// pattern position (lane `k` = pattern `k`); `X` positions stay unknown.
+///
+/// # Panics
+///
+/// Panics if more than 64 patterns are passed or the patterns have unequal
+/// widths.
+#[must_use]
+pub fn pack_logic_patterns<P: AsRef<[Logic]>>(patterns: &[P]) -> Vec<PackedWord> {
+    assert!(patterns.len() <= 64, "at most 64 patterns per block");
+    let width = patterns.first().map_or(0, |p| p.as_ref().len());
+    let mut words = vec![PackedWord::splat(Logic::X); width];
+    for (lane, pattern) in patterns.iter().enumerate() {
+        let pattern = pattern.as_ref();
+        assert_eq!(pattern.len(), width, "pattern width mismatch");
+        for (word, &value) in words.iter_mut().zip(pattern) {
+            word.set_lane(lane, value);
+        }
+    }
+    words
+}
+
+/// Zero-delay evaluation engine for the combinational part of a netlist,
+/// generic over the number of circuit states evaluated per pass.
+///
+/// The kernel caches the topological order of the gates, the positions of
+/// the gates inside it (used by the event-driven simulator to order its
+/// worklist), the combinational-input mapping, and owns a reusable per-net
+/// value buffer. It borrows nothing, so one kernel can serve any number of
+/// evaluations as long as the netlist structure does not change; rebuild it
+/// after structural edits such as MUX insertion.
+#[derive(Debug, Clone)]
+pub struct SimKernel<W: LogicWord> {
+    order: Vec<GateId>,
+    position: Vec<usize>,
+    inputs: Vec<NetId>,
+    net_count: usize,
+    values: Vec<W>,
+}
+
+impl<W: LogicWord> SimKernel<W> {
+    /// Builds a kernel for `netlist`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the combinational part of the netlist is cyclic; validate
+    /// untrusted netlists with [`Netlist::validate`] first.
+    #[must_use]
+    pub fn new(netlist: &Netlist) -> SimKernel<W> {
+        let order = topo::topological_gates(netlist).expect("combinational part must be acyclic");
+        let mut position = vec![0usize; netlist.gate_count()];
+        for (index, gate) in order.iter().enumerate() {
+            position[gate.index()] = index;
+        }
+        SimKernel {
+            order,
+            position,
+            inputs: netlist.combinational_inputs(),
+            net_count: netlist.net_count(),
+            values: Vec::new(),
+        }
+    }
+
+    /// The combinational inputs in the order expected by
+    /// [`SimKernel::evaluate`] (primary inputs followed by pseudo-inputs).
+    #[must_use]
+    pub fn inputs(&self) -> &[NetId] {
+        &self.inputs
+    }
+
+    /// Gates in topological order.
+    #[must_use]
+    pub fn order(&self) -> &[GateId] {
+        &self.order
+    }
+
+    /// Position of a gate inside the topological order.
+    #[must_use]
+    pub fn position_of(&self, gate: GateId) -> usize {
+        self.position[gate.index()]
+    }
+
+    /// Number of nets of the netlist the kernel was built for.
+    #[must_use]
+    pub fn net_count(&self) -> usize {
+        self.net_count
+    }
+
+    /// The per-net values of the most recent [`SimKernel::evaluate`] call
+    /// (empty before the first call), indexed by [`NetId::index`].
+    #[must_use]
+    pub fn values(&self) -> &[W] {
+        &self.values
+    }
+
+    /// Re-evaluates every gate (in topological order) over a caller-provided
+    /// per-net value buffer. Source nets are left untouched; every driven
+    /// net is overwritten. This is the primitive behind every simulator in
+    /// the workspace; callers that seed arbitrary net values (the fault
+    /// simulator, PODEM) drive it directly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is shorter than the number of nets, or if
+    /// `netlist` has a different shape than the netlist the kernel was
+    /// built for (rebuild the kernel after structural edits such as MUX
+    /// insertion).
+    pub fn propagate(&self, netlist: &Netlist, values: &mut [W]) {
+        assert!(values.len() >= self.net_count, "value buffer too small");
+        assert!(
+            netlist.net_count() == self.net_count && netlist.gate_count() == self.position.len(),
+            "netlist does not match the one the kernel was built for; \
+             rebuild the kernel after structural edits"
+        );
+        for &gate_id in &self.order {
+            let gate = netlist.gate(gate_id);
+            values[gate.output.index()] = eval_gate_at(gate.kind, &gate.inputs, values);
+        }
+    }
+
+    /// Evaluates the circuit from a complete assignment of the combinational
+    /// inputs (same order as [`SimKernel::inputs`]); unspecified inputs may
+    /// be passed as unknown words. Returns one value per net, indexed by
+    /// [`NetId::index`], borrowed from the kernel's reusable buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input_values` has a different length than the number of
+    /// combinational inputs, or if `netlist` is not the netlist the kernel
+    /// was built for.
+    pub fn evaluate(&mut self, netlist: &Netlist, input_values: &[W]) -> &[W] {
+        assert_eq!(
+            input_values.len(),
+            self.inputs.len(),
+            "one value per combinational input required"
+        );
+        let mut values = std::mem::take(&mut self.values);
+        values.clear();
+        values.resize(self.net_count, W::splat(Logic::X));
+        for (&net, &value) in self.inputs.iter().zip(input_values) {
+            values[net.index()] = value;
+        }
+        self.propagate(netlist, &mut values);
+        self.values = values;
+        &self.values
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scanpower_netlist::bench;
+
+    fn all_logic() -> [Logic; 3] {
+        [Logic::Zero, Logic::One, Logic::X]
+    }
+
+    /// Lane-0 packed evaluation must agree with scalar evaluation for every
+    /// connective and every operand combination, including X propagation.
+    #[test]
+    fn packed_connectives_match_scalar_exhaustively() {
+        for a in all_logic() {
+            let pa = PackedWord::splat(a);
+            assert_eq!(pa.not().lane(0), a.not());
+            for b in all_logic() {
+                let pb = PackedWord::splat(b);
+                assert_eq!(LogicWord::and(pa, pb).lane(17), a.and(b), "{a} AND {b}");
+                assert_eq!(LogicWord::or(pa, pb).lane(17), a.or(b), "{a} OR {b}");
+                assert_eq!(LogicWord::xor(pa, pb).lane(17), a.xor(b), "{a} XOR {b}");
+                for s in all_logic() {
+                    let ps = PackedWord::splat(s);
+                    assert_eq!(
+                        PackedWord::mux(ps, pa, pb).lane(3),
+                        Logic::mux(s, a, b),
+                        "MUX({s}; {a}, {b})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn packed_gate_eval_matches_scalar_on_mixed_lanes() {
+        for kind in [
+            GateKind::And,
+            GateKind::Nand,
+            GateKind::Or,
+            GateKind::Nor,
+            GateKind::Xor,
+            GateKind::Xnor,
+        ] {
+            // Two inputs, each taking all 9 (a, b) combinations across lanes.
+            let mut a = PackedWord::splat(Logic::X);
+            let mut b = PackedWord::splat(Logic::X);
+            let mut expected = Vec::new();
+            for (lane, (va, vb)) in all_logic()
+                .into_iter()
+                .flat_map(|x| all_logic().into_iter().map(move |y| (x, y)))
+                .enumerate()
+            {
+                a.set_lane(lane, va);
+                b.set_lane(lane, vb);
+                expected.push(eval_gate(kind, &[va, vb]));
+            }
+            let packed = eval_gate(kind, &[a, b]);
+            for (lane, want) in expected.iter().enumerate() {
+                assert_eq!(packed.lane(lane), *want, "{kind} lane {lane}");
+            }
+        }
+    }
+
+    #[test]
+    fn lane_round_trip() {
+        let mut word = PackedWord::splat(Logic::X);
+        word.set_lane(0, Logic::Zero);
+        word.set_lane(1, Logic::One);
+        word.set_lane(63, Logic::One);
+        assert_eq!(word.lane(0), Logic::Zero);
+        assert_eq!(word.lane(1), Logic::One);
+        assert_eq!(word.lane(2), Logic::X);
+        assert_eq!(word.lane(63), Logic::One);
+        assert_eq!(word.ones(), 1 << 1 | 1 << 63);
+        assert_eq!(word.zeros(), 1 << 0);
+        assert_eq!(word.unknown().count_ones(), 61);
+    }
+
+    #[test]
+    fn packed_kernel_matches_scalar_kernel_on_s27() {
+        let netlist = bench::parse(bench::S27_BENCH, "s27").unwrap();
+        let mut scalar = SimKernel::<Logic>::new(&netlist);
+        let mut packed = SimKernel::<PackedWord>::new(&netlist);
+        let width = scalar.inputs().len();
+
+        // 64 exhaustive-ish input vectors including X positions.
+        let patterns: Vec<Vec<Logic>> = (0..64u64)
+            .map(|index| {
+                (0..width)
+                    .map(|bit| match (index >> bit) & 3 {
+                        0 => Logic::Zero,
+                        1 => Logic::One,
+                        _ => {
+                            if (index + bit as u64).is_multiple_of(3) {
+                                Logic::X
+                            } else {
+                                Logic::from_bool(index & 1 == 1)
+                            }
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        let packed_inputs = pack_logic_patterns(&patterns);
+        let packed_values = packed.evaluate(&netlist, &packed_inputs).to_vec();
+        for (lane, pattern) in patterns.iter().enumerate() {
+            let scalar_values = scalar.evaluate(&netlist, pattern);
+            for net in netlist.net_ids() {
+                assert_eq!(
+                    packed_values[net.index()].lane(lane),
+                    scalar_values[net.index()],
+                    "net {} lane {lane}",
+                    netlist.net(net).name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pack_bool_patterns_transposes() {
+        let patterns = vec![vec![true, false], vec![false, false], vec![true, true]];
+        let words = pack_bool_patterns(&patterns);
+        assert_eq!(words.len(), 2);
+        assert_eq!(words[0].ones(), 0b101);
+        assert_eq!(words[1].ones(), 0b100);
+        // Lanes beyond the block are unknown.
+        assert_eq!(words[0].lane(3), Logic::X);
+    }
+
+    #[test]
+    #[should_panic(expected = "one value per combinational input")]
+    fn wrong_input_width_panics() {
+        let netlist = bench::parse(bench::S27_BENCH, "s27").unwrap();
+        let mut kernel = SimKernel::<Logic>::new(&netlist);
+        let _ = kernel.evaluate(&netlist, &[Logic::Zero]);
+    }
+
+    #[test]
+    #[should_panic(expected = "rebuild the kernel after structural edits")]
+    fn stale_kernel_panics_after_structural_edit() {
+        let mut netlist = bench::parse(bench::S27_BENCH, "s27").unwrap();
+        let mut kernel = SimKernel::<Logic>::new(&netlist);
+        let width = kernel.inputs().len();
+        // Structural edit after the kernel was built: the kernel must
+        // refuse to evaluate the grown netlist instead of returning
+        // silently wrong values.
+        let extra = netlist.add_input("late");
+        let _ = netlist.add_gate(GateKind::Not, &[extra], "late_inv");
+        let _ = kernel.evaluate(&netlist, &vec![Logic::Zero; width]);
+    }
+}

@@ -2,17 +2,23 @@
 //!
 //! The power numbers of the paper are produced by simulating the circuit
 //! while test vectors are shifted through the scan chain. This crate
-//! provides the simulation machinery:
+//! provides the simulation machinery, all of it built on one shared
+//! evaluation layer:
 //!
+//! * [`kernel`] — the [`SimKernel`]: cached topological order, input
+//!   mapping and per-net buffers, generic over [`LogicWord`] — one circuit
+//!   state per pass ([`Logic`]) or sixty-four ([`PackedWord`], a two-word
+//!   three-valued bit-parallel encoding). This module contains the single
+//!   gate-evaluation implementation of the workspace.
 //! * [`Logic`] — three-valued (0/1/X) logic with Kleene semantics.
-//! * [`Evaluator`] — zero-delay evaluation of the combinational part from a
-//!   complete assignment of the combinational inputs.
+//! * [`Evaluator`] — zero-delay scalar evaluation of the combinational part
+//!   from a complete assignment of the combinational inputs.
 //! * [`IncrementalSim`] — event-driven re-evaluation that reports exactly
 //!   which nets toggled, used to count transitions cheaply across the many
 //!   shift cycles of a scan test.
 //! * [`scan`] — test-per-scan shift simulation ([`scan::ScanShiftSim`]) with
 //!   per-net transition counts and per-cycle state observation.
-//! * [`fault`] — parallel-pattern stuck-at fault simulation used by the
+//! * [`fault`] — 64-pattern-per-pass stuck-at fault simulation used by the
 //!   ATPG substitute.
 //! * [`patterns`] — deterministic random pattern generation.
 //!
@@ -29,6 +35,22 @@
 //! assert_eq!(values.len(), circuit.net_count());
 //! # Ok::<(), scanpower_netlist::NetlistError>(())
 //! ```
+//!
+//! Evaluating 64 circuit states in one pass:
+//!
+//! ```
+//! use scanpower_netlist::bench;
+//! use scanpower_sim::kernel::{pack_bool_patterns, PackedWord, SimKernel};
+//! use scanpower_sim::patterns::random_bool_patterns;
+//!
+//! let circuit = bench::parse(bench::S27_BENCH, "s27")?;
+//! let mut kernel = SimKernel::<PackedWord>::new(&circuit);
+//! let block = random_bool_patterns(kernel.inputs().len(), 64, 1);
+//! let inputs = pack_bool_patterns(&block);
+//! let values = kernel.evaluate(&circuit, &inputs);
+//! assert_eq!(values.len(), circuit.net_count());
+//! # Ok::<(), scanpower_netlist::NetlistError>(())
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -36,10 +58,12 @@
 mod eval;
 pub mod fault;
 mod incremental;
+pub mod kernel;
 mod logic;
 pub mod patterns;
 pub mod scan;
 
 pub use eval::Evaluator;
 pub use incremental::IncrementalSim;
+pub use kernel::{LogicWord, PackedWord, SimKernel};
 pub use logic::Logic;

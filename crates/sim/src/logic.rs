@@ -49,6 +49,7 @@ impl Logic {
 
     /// Logical negation (`X` stays `X`).
     #[must_use]
+    #[allow(clippy::should_implement_trait)] // established three-valued API
     pub fn not(self) -> Logic {
         match self {
             Logic::Zero => Logic::One,
@@ -88,41 +89,16 @@ impl Logic {
 
     /// Evaluates a gate of the given kind over three-valued inputs.
     ///
+    /// Thin convenience wrapper over the shared kernel's
+    /// [`eval_gate`](crate::kernel::eval_gate) — the one place gate kinds
+    /// are interpreted as logic functions.
+    ///
     /// # Panics
     ///
-    /// Panics if a MUX is evaluated with other than three inputs.
+    /// Panics if the number of inputs is not valid for the gate kind.
     #[must_use]
     pub fn eval_gate(kind: GateKind, inputs: &[Logic]) -> Logic {
-        match kind {
-            GateKind::Buf => inputs[0],
-            GateKind::Not => inputs[0].not(),
-            GateKind::And => inputs.iter().copied().fold(Logic::One, Logic::and),
-            GateKind::Nand => inputs.iter().copied().fold(Logic::One, Logic::and).not(),
-            GateKind::Or => inputs.iter().copied().fold(Logic::Zero, Logic::or),
-            GateKind::Nor => inputs.iter().copied().fold(Logic::Zero, Logic::or).not(),
-            GateKind::Xor => inputs.iter().copied().fold(Logic::Zero, Logic::xor),
-            GateKind::Xnor => inputs
-                .iter()
-                .copied()
-                .fold(Logic::Zero, Logic::xor)
-                .not(),
-            GateKind::Mux => {
-                assert_eq!(inputs.len(), 3, "mux must have 3 inputs");
-                match inputs[0] {
-                    Logic::Zero => inputs[1],
-                    Logic::One => inputs[2],
-                    Logic::X => {
-                        if inputs[1] == inputs[2] {
-                            inputs[1]
-                        } else {
-                            Logic::X
-                        }
-                    }
-                }
-            }
-            GateKind::Const0 => Logic::Zero,
-            GateKind::Const1 => Logic::One,
-        }
+        crate::kernel::eval_gate(kind, inputs)
     }
 }
 

@@ -94,9 +94,7 @@ mod tests {
     fn inverter_is_fastest_cell() {
         let model = DelayModel::default();
         assert!(model.intrinsic_delay(GateKind::Not, 1) < model.intrinsic_delay(GateKind::Nand, 2));
-        assert!(
-            model.intrinsic_delay(GateKind::Nand, 2) < model.intrinsic_delay(GateKind::Nor, 2)
-        );
+        assert!(model.intrinsic_delay(GateKind::Nand, 2) < model.intrinsic_delay(GateKind::Nor, 2));
     }
 
     #[test]

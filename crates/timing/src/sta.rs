@@ -1,6 +1,6 @@
 use serde::{Deserialize, Serialize};
 
-use scanpower_netlist::{GateId, NetId, Netlist, Result, topo};
+use scanpower_netlist::{topo, GateId, NetId, Netlist, Result};
 
 use crate::delay::DelayModel;
 

@@ -25,6 +25,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("  detected         : {}", test_set.detected_faults);
     println!("  untestable       : {}", test_set.untestable_faults);
     println!("  aborted          : {}", test_set.aborted_faults);
-    println!("fault coverage     : {:.2} %", test_set.fault_coverage * 100.0);
+    println!(
+        "fault coverage     : {:.2} %",
+        test_set.fault_coverage * 100.0
+    );
     Ok(())
 }

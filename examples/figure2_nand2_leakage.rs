@@ -10,7 +10,10 @@ use scanpower_suite::power::LeakageLibrary;
 fn main() {
     let library = LeakageLibrary::cmos45();
 
-    println!("Figure 2 — NAND2 leakage current, 45 nm, VDD = {} V", library.supply());
+    println!(
+        "Figure 2 — NAND2 leakage current, 45 nm, VDD = {} V",
+        library.supply()
+    );
     println!("  A B | leakage (nA)");
     for state in 0..4u32 {
         let a = state & 1;
@@ -30,8 +33,13 @@ fn main() {
     ] {
         println!("\n{label} leakage per input state (nA)");
         for state in 0..(1u32 << fanin) {
-            let bits: String = (0..fanin).map(|p| if (state >> p) & 1 == 1 { '1' } else { '0' }).collect();
-            println!("  {bits} | {:8.1}", library.gate_leakage(kind, fanin, state));
+            let bits: String = (0..fanin)
+                .map(|p| if (state >> p) & 1 == 1 { '1' } else { '0' })
+                .collect();
+            println!(
+                "  {bits} | {:8.1}",
+                library.gate_leakage(kind, fanin, state)
+            );
         }
     }
 

@@ -20,7 +20,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         circuit.gate_count(),
         circuit.dff_count()
     );
-    println!("{:>10} {:>16} {:>12} {:>10} {:>10}", "mux frac", "dyn (uW/Hz)", "static (uW)", "dyn% vs T", "stat% vs T");
+    println!(
+        "{:>10} {:>16} {:>12} {:>10} {:>10}",
+        "mux frac", "dyn (uW/Hz)", "static (uW)", "dyn% vs T", "stat% vs T"
+    );
 
     for fraction in [0.0, 0.25, 0.5, 0.75, 1.0] {
         let mut options = ExperimentOptions::fast();

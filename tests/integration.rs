@@ -51,21 +51,26 @@ fn normal_mode_behaviour_is_preserved_end_to_end() {
     let ev_before = Evaluator::new(&circuit);
     let ev_after = Evaluator::new(modified);
     let pi = circuit.primary_inputs().len();
-    let patterns = scanpower_suite::sim::patterns::random_logic_patterns(
-        ev_before.inputs().len(),
-        64,
-        9,
-    );
+    let patterns =
+        scanpower_suite::sim::patterns::random_logic_patterns(ev_before.inputs().len(), 64, 9);
     for pattern in patterns {
         let before = ev_before.evaluate(&circuit, &pattern);
         let mut adapted = pattern[..pi].to_vec();
         adapted.push(Logic::Zero); // Shift Enable off.
         adapted.extend_from_slice(&pattern[pi..]);
         let after = ev_after.evaluate(modified, &adapted);
-        for (a, b) in circuit.primary_outputs().iter().zip(modified.primary_outputs()) {
+        for (a, b) in circuit
+            .primary_outputs()
+            .iter()
+            .zip(modified.primary_outputs())
+        {
             assert_eq!(before[a.index()], after[b.index()]);
         }
-        for (a, b) in circuit.pseudo_outputs().iter().zip(modified.pseudo_outputs()) {
+        for (a, b) in circuit
+            .pseudo_outputs()
+            .iter()
+            .zip(modified.pseudo_outputs())
+        {
             assert_eq!(before[a.index()], after[b.index()]);
         }
     }
@@ -78,7 +83,10 @@ fn critical_path_is_never_lengthened_by_the_flow() {
         let result = ProposedMethod::default().apply(&circuit).unwrap();
         let sta = Sta::default();
         let before = sta.analyze(&circuit).unwrap().critical_delay();
-        let after = sta.analyze(result.structure.netlist()).unwrap().critical_delay();
+        let after = sta
+            .analyze(result.structure.netlist())
+            .unwrap()
+            .critical_delay();
         assert!(
             after <= before + 1e-9,
             "{name}: critical path grew from {before} to {after}"

@@ -1,0 +1,197 @@
+//! Offline micro-benchmark harness exposing the subset of the Criterion API
+//! the workspace benches use (`Criterion::bench_function`,
+//! `benchmark_group`/`sample_size`/`finish`, `Bencher::iter`,
+//! `Bencher::iter_batched`, `black_box`, and the `criterion_group!` /
+//! `criterion_main!` macros).
+//!
+//! Methodology is intentionally simple — a short warm-up followed by
+//! `sample_size` timed samples, reporting the mean wall-clock time per
+//! iteration — because the container building this workspace has no
+//! crates.io access for the real Criterion. Statistical rigour can be traded
+//! back in later without touching the benches.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How batched inputs are grouped (accepted for API compatibility; the stub
+/// re-runs the setup for every iteration regardless).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// Times a single benchmark body.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples: usize,
+    total: Duration,
+    iterations: u64,
+}
+
+impl Bencher {
+    fn with_samples(samples: usize) -> Bencher {
+        Bencher {
+            samples,
+            ..Bencher::default()
+        }
+    }
+
+    /// Runs `routine` repeatedly, timing every call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up.
+        black_box(routine());
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(routine());
+            self.total += start.elapsed();
+            self.iterations += 1;
+        }
+    }
+
+    /// Runs `routine` on fresh inputs from `setup`; only `routine` is timed.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        black_box(routine(setup()));
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.total += start.elapsed();
+            self.iterations += 1;
+        }
+    }
+
+    fn report(&self, name: &str) {
+        if self.iterations == 0 {
+            println!("bench {name:<40} (no samples)");
+        } else {
+            let mean = self.total.as_nanos() / u128::from(self.iterations);
+            println!(
+                "bench {name:<40} {mean:>12} ns/iter ({} samples)",
+                self.iterations
+            );
+        }
+    }
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Benchmarks one function under `name`.
+    pub fn bench_function<N: AsRef<str>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: N,
+        mut f: F,
+    ) -> &mut Self {
+        let mut bencher = Bencher::with_samples(self.sample_size);
+        f(&mut bencher);
+        bencher.report(name.as_ref());
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.to_owned(),
+            sample_size: self.sample_size,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = samples.max(1);
+        self
+    }
+
+    /// Benchmarks one function inside the group.
+    pub fn bench_function<N: AsRef<str>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: N,
+        mut f: F,
+    ) -> &mut Self {
+        let mut bencher = Bencher::with_samples(self.sample_size);
+        f(&mut bencher);
+        bencher.report(&format!("{}/{}", self.name, name.as_ref()));
+        self
+    }
+
+    /// Ends the group (kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Declares a group of benchmark functions, like `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark `main`, like `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_the_routine() {
+        let mut criterion = Criterion::default();
+        let mut calls = 0usize;
+        criterion.bench_function("counting", |b| b.iter(|| calls += 1));
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn groups_run_batched_routines() {
+        let mut criterion = Criterion::default();
+        let mut group = criterion.benchmark_group("g");
+        group.sample_size(3);
+        let mut total = 0usize;
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| 2usize, |v| total += v, BatchSize::SmallInput)
+        });
+        group.finish();
+        assert!(total >= 6);
+    }
+}

@@ -1,0 +1,242 @@
+//! Offline subset of the `rand` 0.8 API.
+//!
+//! The workspace builds in a container without crates.io access, so this
+//! crate reimplements exactly the surface the `scanpower` crates use:
+//! [`RngCore`], [`Rng`] (`gen`, `gen_bool`, `gen_range` over half-open
+//! integer ranges), [`SeedableRng::seed_from_u64`], and
+//! [`seq::SliceRandom`] (`shuffle`, `choose`). Distribution details follow
+//! the same constructions as the real crate (53-bit floats, widening
+//! multiply for uniform integers) but no bit-for-bit stream compatibility is
+//! promised — everything downstream only relies on determinism for a fixed
+//! seed.
+
+#![forbid(unsafe_code)]
+
+use core::ops::Range;
+
+/// Low-level uniform word generator (subset of `rand_core::RngCore`).
+pub trait RngCore {
+    /// Next uniformly random 64-bit word.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next uniformly random 32-bit word.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Seedable generators (subset of `rand_core::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Raw seed type (a byte array for every generator in this workspace).
+    type Seed: AsMut<[u8]> + Default;
+
+    /// Builds the generator from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Expands a 64-bit seed into a full seed with SplitMix64, like
+    /// `rand_core` does.
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(4) {
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^= z >> 31;
+            let bytes = (z as u32).to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Types [`Rng::gen`] can produce.
+pub trait Standard: Sized {
+    /// Draws one uniformly random value.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+        // 53 random mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for u64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> u32 {
+        rng.next_u32()
+    }
+}
+
+/// Types usable with [`Rng::gen_range`] over `low..high`.
+pub trait SampleUniform: Copy {
+    /// Draws uniformly from `[low, high)`.
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+}
+
+fn uniform_u64<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    // Widening-multiply rejection sampling (Lemire); unbiased.
+    let zone = span.wrapping_neg() % span;
+    loop {
+        let word = rng.next_u64();
+        let (hi, lo) = {
+            let product = u128::from(word) * u128::from(span);
+            ((product >> 64) as u64, product as u64)
+        };
+        if lo >= zone {
+            return hi;
+        }
+    }
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: $t, high: $t) -> $t {
+                assert!(low < high, "gen_range: empty range");
+                let span = (high as i128 - low as i128) as u64;
+                let offset = uniform_u64(rng, span);
+                ((low as i128) + offset as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(usize, u64, u32, u16, u8, isize, i64, i32, i16, i8);
+
+impl SampleUniform for f64 {
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: f64, high: f64) -> f64 {
+        assert!(low < high, "gen_range: empty range");
+        low + f64::sample(rng) * (high - low)
+    }
+}
+
+/// High-level convenience methods (subset of `rand::Rng`).
+pub trait Rng: RngCore {
+    /// Draws a uniformly random value of type `T`.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Bernoulli draw with probability `p` of returning `true`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p = {p} out of range");
+        f64::sample(self) < p
+    }
+
+    /// Uniform draw from the half-open range `low..high`.
+    fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T {
+        T::sample_range(self, range.start, range.end)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Sequence-related helpers (subset of `rand::seq`).
+pub mod seq {
+    use super::{Rng, RngCore};
+
+    /// Subset of `rand::seq::SliceRandom`.
+    pub trait SliceRandom {
+        /// Element type of the slice.
+        type Item;
+
+        /// Fisher–Yates shuffle in place.
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+
+        /// Uniformly random element, `None` when empty.
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..i + 1);
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                self.get(rng.gen_range(0..self.len()))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::seq::SliceRandom;
+    use super::*;
+
+    struct Counter(u64);
+    impl RngCore for Counter {
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1);
+            self.0
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = Counter(7);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+
+    #[test]
+    fn gen_range_stays_in_range() {
+        let mut rng = Counter(3);
+        for _ in 0..1000 {
+            let v = rng.gen_range(10usize..20);
+            assert!((10..20).contains(&v));
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = Counter(1);
+        let mut values: Vec<u32> = (0..50).collect();
+        values.shuffle(&mut rng);
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn f64_samples_are_in_unit_interval() {
+        let mut rng = Counter(9);
+        for _ in 0..1000 {
+            let v: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+}

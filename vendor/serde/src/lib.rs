@@ -1,0 +1,22 @@
+//! Offline facade standing in for the `serde` crate.
+//!
+//! The container building this workspace has no access to crates.io, and no
+//! code here actually serialises anything — the `#[derive(Serialize,
+//! Deserialize)]` annotations on the workspace types only declare intent for
+//! a future wire format. This facade provides the two names as no-op derive
+//! macros (from the sibling `serde_derive` stub) plus marker traits so that
+//! bounds like `T: Serialize` would still compile.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize` (no methods in the stub).
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize` (no methods in the stub).
+pub trait Deserialize<'de> {}
+
+impl<T: ?Sized> Serialize for T {}
+
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

@@ -1,0 +1,21 @@
+//! No-op replacements for `serde`'s `Serialize` / `Deserialize` derives.
+//!
+//! The workspace builds in an offline container, so the real `serde`
+//! ecosystem is unavailable. Nothing in the workspace actually serialises
+//! values (there is no `serde_json` and no wire format); the derives exist
+//! purely so the `#[derive(Serialize, Deserialize)]` annotations on the data
+//! types keep compiling. Both macros therefore expand to nothing.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; accepts (and ignores) `#[serde(...)]` attributes.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; accepts (and ignores) `#[serde(...)]` attributes.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -6,7 +6,7 @@ use scanpower_netlist::Netlist;
 use scanpower_sim::fault::{all_net_faults, Fault, FaultSim};
 use scanpower_sim::patterns::random_bool_patterns;
 use scanpower_sim::scan::ScanPattern;
-use scanpower_sim::Logic;
+use scanpower_sim::{BlockDriver, Logic};
 
 use crate::podem::{Podem, PodemOutcome};
 
@@ -27,6 +27,11 @@ pub struct AtpgConfig {
     pub target_coverage: f64,
     /// RNG seed; the whole flow is deterministic for a given seed.
     pub seed: u64,
+    /// Worker threads for the random phase's block-parallel fault
+    /// simulation: `0` = one per available hardware thread, `1` = the
+    /// sequential fallback. The generated test set is bit-identical
+    /// whatever the thread count.
+    pub threads: usize,
 }
 
 impl Default for AtpgConfig {
@@ -38,6 +43,7 @@ impl Default for AtpgConfig {
             backtrack_limit: 200,
             target_coverage: 0.995,
             seed: 0xa70a_70a7,
+            threads: 0,
         }
     }
 }
@@ -100,6 +106,11 @@ impl TestSet {
     }
 }
 
+/// One speculatively fault-simulated candidate block of the random phase:
+/// its generated patterns and, per ≤64-pattern chunk, the frozen-snapshot
+/// detecting-lane masks from [`FaultSim::detect_block_lanes`].
+type SimulatedBlock = (Vec<Vec<bool>>, Vec<Vec<(usize, u64)>>);
+
 /// The two-phase (random + PODEM) ATPG flow.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct AtpgFlow {
@@ -136,46 +147,113 @@ impl AtpgFlow {
         let mut patterns: Vec<Vec<bool>> = Vec::new();
         let mut rng = ChaCha8Rng::seed_from_u64(self.config.seed);
 
-        // Phase 1: random patterns with fault dropping, fault-simulated
-        // 64 patterns per pass through the shared packed kernel. Per-lane
-        // first-detection credit makes the kept patterns identical to a
-        // pattern-at-a-time loop while costing one fault-free simulation
-        // pass per block instead of one per pattern.
+        // Phase 1: random patterns with fault dropping, fault-simulated 64
+        // patterns per pass through the shared packed kernel and sharded
+        // across threads by the BlockDriver, one group of candidate blocks
+        // per dispatch. Every ≤64-pattern chunk computes its per-fault
+        // detecting-lane masks against a frozen snapshot of the detected
+        // flags (fault effects are independent of each other, so the masks
+        // cannot change while earlier chunks merge); the masks are then
+        // merged strictly in pattern order with per-pattern first-detection
+        // credit and a per-pattern target-coverage cutoff. The kept test
+        // set — and every TestSet counter — is what a pattern-at-a-time
+        // loop would have produced, whatever the thread count: speculative
+        // chunks such a loop would never have reached are discarded unseen
+        // and uncounted.
+        let driver = BlockDriver::new(self.config.threads);
+        let total_faults = faults.len();
+        let target_met = |detected_count: usize| {
+            total_faults == 0
+                || detected_count as f64 / total_faults as f64 >= self.config.target_coverage
+        };
+        let mut detected_count = 0usize;
         let mut stale = 0usize;
         let mut random_patterns = 0usize;
         let mut random_patterns_simulated = 0usize;
         let mut random_sim_passes = 0usize;
-        for block_index in 0..self.config.random_max_blocks {
-            if self.coverage(&detected) >= self.config.target_coverage {
+        let mut next_block = 0usize;
+        // Dispatch groups ramp up 1 → 2 → 4 → … → threads: flows that meet
+        // the target (or go stale) within the first block or two never pay
+        // for a full thread-count group of speculative blocks, while
+        // long-running phases quickly reach full-width dispatches. The
+        // grouping only decides how much is speculated per dispatch — the
+        // merge below is identical for any group size, so the output does
+        // not depend on it.
+        let mut group_ramp = 1usize;
+        'random: while next_block < self.config.random_max_blocks {
+            if target_met(detected_count) {
                 break;
             }
-            let block = random_bool_patterns(
-                width,
-                self.config.random_block_size,
-                self.config.seed ^ (block_index as u64 + 1).wrapping_mul(0x9e37_79b9),
-            );
-            // Keep only the patterns of the block that detect something new.
-            let mut kept_any = false;
-            for chunk in block.chunks(64) {
-                let detections = sim.detect_block_into(netlist, faults, chunk, &mut detected);
-                random_sim_passes += 1;
-                random_patterns_simulated += chunk.len();
-                for (lane, &newly) in detections.new_per_lane.iter().enumerate() {
-                    if newly > 0 {
-                        patterns.push(chunk[lane].clone());
-                        random_patterns += 1;
-                        kept_any = true;
+            let group_len = group_ramp
+                .min(driver.threads())
+                .min(self.config.random_max_blocks - next_block);
+            group_ramp = group_ramp.saturating_mul(2);
+            // One job per outer block: the job generates the block's
+            // patterns (the seed depends only on the block index) and
+            // fault-simulates its ≤64-pattern chunks, so no serial work is
+            // left on the merge thread beyond the merge itself.
+            let group: Vec<SimulatedBlock> = driver.map(group_len, |job| {
+                let block_index = next_block + job;
+                let block = random_bool_patterns(
+                    width,
+                    self.config.random_block_size,
+                    self.config.seed ^ (block_index as u64 + 1).wrapping_mul(0x9e37_79b9),
+                );
+                let masks = block
+                    .chunks(64)
+                    .map(|chunk| sim.detect_block_lanes(netlist, faults, chunk, &detected))
+                    .collect();
+                (block, masks)
+            });
+
+            // Sequential merge, in pattern order.
+            for (block, block_masks) in &group {
+                let mut kept_any = false;
+                for (chunk, masks) in block.chunks(64).zip(block_masks) {
+                    if target_met(detected_count) {
+                        // The pattern-at-a-time loop stops before this
+                        // chunk; its (speculative) pass is not counted.
+                        break 'random;
+                    }
+                    random_sim_passes += 1;
+                    random_patterns_simulated += chunk.len();
+                    // Bucket each still-active fault under the first lane
+                    // that detects it; faults already credited to an
+                    // earlier chunk of this group drop out here.
+                    let mut newly_by_lane: Vec<Vec<usize>> = vec![Vec::new(); chunk.len()];
+                    for &(fault, lanes) in masks {
+                        if !detected[fault] {
+                            newly_by_lane[lanes.trailing_zeros() as usize].push(fault);
+                        }
+                    }
+                    for (lane, newly) in newly_by_lane.iter().enumerate() {
+                        if target_met(detected_count) {
+                            // Mid-chunk cutoff: patterns past this lane are
+                            // neither credited nor kept, exactly like the
+                            // pattern-at-a-time loop that breaks here.
+                            break 'random;
+                        }
+                        for &fault in newly {
+                            detected[fault] = true;
+                            detected_count += 1;
+                        }
+                        if !newly.is_empty() {
+                            patterns.push(chunk[lane].clone());
+                            random_patterns += 1;
+                            kept_any = true;
+                        }
+                    }
+                }
+                if kept_any {
+                    stale = 0;
+                } else {
+                    stale += 1;
+                    if stale >= self.config.random_stale_blocks {
+                        break 'random;
                     }
                 }
             }
-            if kept_any {
-                stale = 0;
-            } else {
-                stale += 1;
-                if stale >= self.config.random_stale_blocks {
-                    break;
-                }
-            }
+            next_block += group_len;
         }
 
         // Phase 2: PODEM on the remaining faults.
@@ -316,6 +394,138 @@ mod tests {
             test_set.random_patterns_simulated,
             test_set.random_sim_passes
         );
+    }
+
+    /// The documented Phase-1 contract, executed literally: one pattern at
+    /// a time, coverage checked before every pattern, fault dropping,
+    /// block-level staleness. The flow must reproduce this exactly.
+    fn pattern_at_a_time_random_phase(netlist: &Netlist, config: &AtpgConfig) -> Vec<Vec<bool>> {
+        let faults = all_net_faults(netlist);
+        let sim = FaultSim::new(netlist);
+        let width = netlist.combinational_inputs().len();
+        let mut detected = vec![false; faults.len()];
+        let coverage = |detected: &[bool]| {
+            if detected.is_empty() {
+                1.0
+            } else {
+                detected.iter().filter(|&&d| d).count() as f64 / detected.len() as f64
+            }
+        };
+        let mut kept = Vec::new();
+        let mut stale = 0usize;
+        'outer: for block_index in 0..config.random_max_blocks {
+            if coverage(&detected) >= config.target_coverage {
+                break;
+            }
+            let block = random_bool_patterns(
+                width,
+                config.random_block_size,
+                config.seed ^ (block_index as u64 + 1).wrapping_mul(0x9e37_79b9),
+            );
+            let mut kept_any = false;
+            for pattern in &block {
+                if coverage(&detected) >= config.target_coverage {
+                    break 'outer;
+                }
+                let newly = sim.detect_into(
+                    netlist,
+                    &faults,
+                    std::slice::from_ref(pattern),
+                    &mut detected,
+                );
+                if newly > 0 {
+                    kept.push(pattern.clone());
+                    kept_any = true;
+                }
+            }
+            if kept_any {
+                stale = 0;
+            } else {
+                stale += 1;
+                if stale >= config.random_stale_blocks {
+                    break;
+                }
+            }
+        }
+        kept
+    }
+
+    /// Regression for the mid-block coverage overshoot: with a target the
+    /// random phase reaches inside a 64-lane chunk, the kept pattern count
+    /// is pinned to the pattern-at-a-time loop's — crediting stops at the
+    /// exact pattern where the target is crossed.
+    #[test]
+    fn random_phase_stops_at_target_coverage_mid_chunk() {
+        let n = bench::parse(bench::S27_BENCH, "s27").unwrap();
+        let config = AtpgConfig {
+            target_coverage: 0.55,
+            ..AtpgConfig::default()
+        };
+        let reference = pattern_at_a_time_random_phase(&n, &config);
+        let test_set = AtpgFlow::new(config.clone()).run(&n);
+        // The target is met mid-phase, so PODEM contributes nothing and the
+        // test set is exactly the random-phase patterns.
+        assert_eq!(test_set.deterministic_patterns, 0);
+        assert_eq!(test_set.patterns, reference);
+        assert_eq!(test_set.random_patterns, reference.len());
+        // No overshoot: the target is reached, and dropping the last kept
+        // pattern would fall below it again.
+        let sim = FaultSim::new(&n);
+        let faults = all_net_faults(&n);
+        assert!(sim.coverage(&n, &faults, &test_set.patterns) >= config.target_coverage);
+        assert!(
+            sim.coverage(
+                &n,
+                &faults,
+                &test_set.patterns[..test_set.patterns.len() - 1]
+            ) < config.target_coverage
+        );
+    }
+
+    /// Without a reachable target the (parallel) random phase must still
+    /// match the pattern-at-a-time loop pattern for pattern.
+    #[test]
+    fn random_phase_matches_pattern_at_a_time_loop() {
+        let n = bench::parse(bench::S27_BENCH, "s27").unwrap();
+        for threads in [1, 2, 5] {
+            let config = AtpgConfig {
+                threads,
+                ..AtpgConfig::default()
+            };
+            let reference = pattern_at_a_time_random_phase(&n, &config);
+            let test_set = AtpgFlow::new(config).run(&n);
+            assert_eq!(
+                &test_set.patterns[..test_set.random_patterns],
+                reference.as_slice(),
+                "threads {threads}"
+            );
+        }
+    }
+
+    /// The whole flow — patterns, coverage, and every counter — is
+    /// bit-identical across thread counts, including counts that do not
+    /// divide the block count.
+    #[test]
+    fn flow_is_identical_across_thread_counts() {
+        let circuit = CircuitFamily::iscas89_like("s344").unwrap().generate(1);
+        for base in [AtpgConfig::fast(), AtpgConfig::default()] {
+            let sequential = AtpgFlow::new(AtpgConfig {
+                threads: 1,
+                ..base.clone()
+            })
+            .run(&circuit);
+            for threads in [0, 2, 3, 7] {
+                let parallel = AtpgFlow::new(AtpgConfig {
+                    threads,
+                    ..base.clone()
+                })
+                .run(&circuit);
+                assert_eq!(
+                    parallel, sequential,
+                    "threads {threads} diverged from sequential"
+                );
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,64 @@
+//! Block-parallel driver bench: the same 64-wide workloads (IVC
+//! Monte-Carlo leakage search, sampled observability forward pass) on the
+//! sequential fallback vs the automatic thread count. The outputs are
+//! bit-identical by construction — this bench measures only the sharding
+//! speed-up, and asserts the agreement once before timing.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use scanpower_bench::bench_circuit;
+use scanpower_power::{InputVectorControl, LeakageEstimator, LeakageLibrary, LeakageObservability};
+use scanpower_sim::{BlockDriver, Logic};
+
+fn parallel_blocks(c: &mut Criterion) {
+    let circuit = bench_circuit("s1238");
+    let library = LeakageLibrary::cmos45();
+    let estimator = LeakageEstimator::new(&circuit, &library);
+    let width = circuit.combinational_inputs().len();
+    let template = vec![Logic::X; width];
+
+    let sequential = InputVectorControl::with_budget(512, 11).with_threads(1);
+    let automatic = InputVectorControl::with_budget(512, 11).with_threads(0);
+    assert_eq!(
+        sequential.search(&circuit, &estimator, &template),
+        automatic.search(&circuit, &estimator, &template),
+        "thread count must never change the search result"
+    );
+    println!(
+        "\nparallel_blocks — auto driver uses {} worker thread(s)",
+        BlockDriver::auto().threads()
+    );
+
+    c.bench_function("parallel/ivc_512_sequential", |b| {
+        b.iter(|| sequential.search(black_box(&circuit), &estimator, &template));
+    });
+    c.bench_function("parallel/ivc_512_auto_threads", |b| {
+        b.iter(|| automatic.search(black_box(&circuit), &estimator, &template));
+    });
+
+    c.bench_function("parallel/observability_16_blocks_sequential", |b| {
+        b.iter(|| {
+            LeakageObservability::compute_sampled_with(
+                black_box(&circuit),
+                &library,
+                16,
+                5,
+                &BlockDriver::sequential(),
+            )
+        });
+    });
+    c.bench_function("parallel/observability_16_blocks_auto_threads", |b| {
+        b.iter(|| {
+            LeakageObservability::compute_sampled_with(
+                black_box(&circuit),
+                &library,
+                16,
+                5,
+                &BlockDriver::auto(),
+            )
+        });
+    });
+}
+
+criterion_group!(benches, parallel_blocks);
+criterion_main!(benches);

@@ -10,6 +10,7 @@
 //! | Ablation A | `ablation_directive` | leakage-observability-directed vs undirected pattern search |
 //! | Ablation B | `ablation_reorder` | effect and cost of gate input reordering |
 //! | Ablation C | `ablation_mux_coverage` | power vs fraction of multiplexed scan cells |
+//! | — | `parallel_blocks` | block-parallel driver speed-up (sequential vs auto threads) on the IVC search and sampled observability |
 //!
 //! The benches intentionally run on *scaled* synthetic circuits so that
 //! `cargo bench --workspace` finishes in minutes; the full-size Table I

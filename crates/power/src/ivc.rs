@@ -4,7 +4,7 @@ use serde::{Deserialize, Serialize};
 
 use scanpower_netlist::Netlist;
 use scanpower_sim::kernel::pack_logic_patterns;
-use scanpower_sim::{Logic, PackedWord, SimKernel};
+use scanpower_sim::{BlockDriver, Logic, PackedWord, SimKernel};
 
 use crate::leakage::LeakageEstimator;
 
@@ -20,13 +20,20 @@ use crate::leakage::LeakageEstimator;
 /// The Monte-Carlo sampling runs on the 64-wide packed simulation kernel:
 /// candidate vectors are evaluated in blocks of up to 64 per topological
 /// pass ([`IvcResult::sim_passes`] counts the passes), so the search costs
-/// ~64× fewer circuit evaluations than a scalar loop.
+/// ~64× fewer circuit evaluations than a scalar loop. The blocks are
+/// independent, so they are additionally sharded across threads by the
+/// [`BlockDriver`] (one kernel clone per worker); the winning vector and
+/// its leakage are bit-identical whatever the thread count, because block
+/// results are reduced in block order.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct InputVectorControl {
     /// Number of random completions to evaluate.
     pub samples: usize,
     /// RNG seed (the search is deterministic for a given seed).
     pub seed: u64,
+    /// Worker threads for the block-parallel evaluation: `0` = one per
+    /// available hardware thread, `1` = the sequential fallback.
+    pub threads: usize,
 }
 
 impl Default for InputVectorControl {
@@ -34,6 +41,7 @@ impl Default for InputVectorControl {
         InputVectorControl {
             samples: 256,
             seed: 0x5ca9_90e5,
+            threads: 0,
         }
     }
 }
@@ -48,7 +56,20 @@ impl InputVectorControl {
     /// Creates a search with an explicit sample budget and seed.
     #[must_use]
     pub fn with_budget(samples: usize, seed: u64) -> InputVectorControl {
-        InputVectorControl { samples, seed }
+        InputVectorControl {
+            samples,
+            seed,
+            ..InputVectorControl::default()
+        }
+    }
+
+    /// Returns the search with an explicit worker thread count (`0` = one
+    /// per available hardware thread, `1` = sequential). The result does
+    /// not depend on the choice.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> InputVectorControl {
+        self.threads = threads;
+        self
     }
 
     /// Finds a low-leakage completion of `template`.
@@ -96,7 +117,7 @@ impl InputVectorControl {
         template: &[Logic],
         free: &[usize],
     ) -> IvcResult {
-        let mut kernel = SimKernel::<PackedWord>::new(netlist);
+        let kernel = SimKernel::<PackedWord>::new(netlist);
         assert_eq!(
             template.len(),
             kernel.inputs().len(),
@@ -132,15 +153,25 @@ impl InputVectorControl {
             candidates.push(candidate);
         }
 
-        // Evaluate 64 candidates per kernel pass.
+        // Evaluate 64 candidates per kernel pass, blocks sharded across
+        // threads (one kernel clone per worker); the min-reduction runs on
+        // the calling thread in block order, so the winner (first best on
+        // ties) is the sequential loop's winner exactly.
+        let driver = BlockDriver::new(self.threads);
+        let block_leakages = driver.map_blocks_with(
+            &candidates,
+            || kernel.clone(),
+            |kernel, _block_index, block| {
+                let packed_inputs = pack_logic_patterns(block);
+                let values = kernel.evaluate(netlist, &packed_inputs);
+                estimator.circuit_leakage_lanes(netlist, values, block.len())
+            },
+        );
         let mut best_index = 0usize;
         let mut best_leakage = f64::INFINITY;
         let mut sim_passes = 0usize;
-        for (block_index, block) in candidates.chunks(64).enumerate() {
-            let packed_inputs = pack_logic_patterns(block);
-            let values = kernel.evaluate(netlist, &packed_inputs);
+        for (block_index, leakages) in block_leakages.into_iter().enumerate() {
             sim_passes += 1;
-            let leakages = estimator.circuit_leakage_lanes(netlist, values, block.len());
             for (lane, leakage) in leakages.into_iter().enumerate() {
                 if leakage < best_leakage {
                     best_leakage = leakage;
@@ -249,6 +280,38 @@ mod tests {
         let evaluator = Evaluator::new(&n);
         let scalar = estimator.circuit_leakage(&n, &evaluator.evaluate(&n, &result.pattern));
         assert!((result.leakage_na - scalar).abs() < 1e-9);
+    }
+
+    /// The block-parallel search returns the same winning vector, leakage,
+    /// and pass counters for every thread count — including candidate
+    /// counts with a partial final block, and with unknowns left in the
+    /// candidates (X propagation through the packed kernel).
+    #[test]
+    fn search_is_identical_across_thread_counts() {
+        let n = bench::parse(bench::S27_BENCH, "s27").unwrap();
+        let library = LeakageLibrary::cmos45();
+        let estimator = LeakageEstimator::new(&n, &library);
+        let width = n.combinational_inputs().len();
+        let mut template = vec![Logic::X; width];
+        template[1] = Logic::One;
+        // Only assign half the free positions: the rest stay X, so every
+        // candidate block exercises unknown-lane propagation.
+        let free: Vec<usize> = (0..width).filter(|i| i % 2 == 0 && *i != 1).collect();
+        // 100 samples -> 2 corners + 100 random = 102 candidates: blocks of
+        // 64 and 38.
+        let base = InputVectorControl::with_budget(100, 9);
+        let sequential = base
+            .clone()
+            .with_threads(1)
+            .search_subset(&n, &estimator, &template, &free);
+        assert!(sequential.pattern.iter().any(|v| !v.is_known()));
+        for threads in [0, 2, 3, 8] {
+            let parallel = base
+                .clone()
+                .with_threads(threads)
+                .search_subset(&n, &estimator, &template, &free);
+            assert_eq!(parallel, sequential, "threads {threads}");
+        }
     }
 
     #[test]

@@ -56,16 +56,28 @@ impl LeakageLibrary {
     }
 
     /// The full per-state table of a gate (length `2^fanin`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fanin >= 32` (the `2^fanin` state count would silently
+    /// wrap in release builds).
     #[must_use]
     pub fn gate_table(&self, kind: GateKind, fanin: usize) -> Vec<f64> {
+        assert!(fanin < 32, "leakage tables support at most 31 input pins");
         (0..(1u32 << fanin))
             .map(|state| self.gate_leakage(kind, fanin, state))
             .collect()
     }
 
     /// The input state with minimum leakage for a gate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fanin >= 32` (the `2^fanin` state count would silently
+    /// wrap in release builds).
     #[must_use]
     pub fn best_state(&self, kind: GateKind, fanin: usize) -> u32 {
+        assert!(fanin < 32, "leakage tables support at most 31 input pins");
         (0..(1u32 << fanin))
             .min_by(|&a, &b| {
                 self.gate_leakage(kind, fanin, a)
@@ -124,27 +136,6 @@ impl LeakageEstimator {
         averaged_table_lookup(table, g.inputs.iter().map(|&input| values[input.index()]))
     }
 
-    /// Leakage current (nA) of a single gate in lane `lane` of a packed
-    /// 64-state simulation result. Unknown inputs are averaged over both
-    /// values, exactly like the scalar [`LeakageEstimator::gate_leakage`].
-    #[must_use]
-    pub fn gate_leakage_lane(
-        &self,
-        netlist: &Netlist,
-        gate: GateId,
-        values: &[PackedWord],
-        lane: usize,
-    ) -> f64 {
-        let table = &self.tables[gate.index()];
-        let g = netlist.gate(gate);
-        averaged_table_lookup(
-            table,
-            g.inputs
-                .iter()
-                .map(|&input| values[input.index()].lane(lane)),
-        )
-    }
-
     /// Total leakage current (nA) of the combinational part for each of the
     /// first `lanes` circuit states of a packed simulation result (one
     /// [`PackedWord`] per net, as produced by
@@ -166,9 +157,17 @@ impl LeakageEstimator {
     ) -> Vec<f64> {
         assert!(lanes <= 64, "a packed word holds at most 64 lanes");
         let mut totals = vec![0.0f64; lanes];
-        for gate in netlist.gate_ids() {
+        // The gate, its table and its input words are loop-invariant over
+        // the lanes: resolve them once per gate, not once per lane.
+        let mut pin_words: Vec<PackedWord> = Vec::new();
+        for gate_id in netlist.gate_ids() {
+            let gate = netlist.gate(gate_id);
+            let table = &self.tables[gate_id.index()];
+            pin_words.clear();
+            pin_words.extend(gate.inputs.iter().map(|&input| values[input.index()]));
             for (lane, total) in totals.iter_mut().enumerate() {
-                *total += self.gate_leakage_lane(netlist, gate, values, lane);
+                *total +=
+                    averaged_table_lookup(table, pin_words.iter().map(|word| word.lane(lane)));
             }
         }
         totals
@@ -196,31 +195,43 @@ impl LeakageEstimator {
 
 /// Looks up `table` at the state formed by the pin values, averaging over
 /// every completion of the unknown pins.
+///
+/// Both the known-1 pins and the unknown pins are tracked in stack
+/// bitmasks (no allocation on this per-gate-per-lane hot path), and the
+/// completions are enumerated with the subset-increment trick
+/// `s = (s - mask) & mask`, which walks the subsets of `mask` in the same
+/// ascending order the old per-pin spread produced.
+///
+/// # Panics
+///
+/// Panics if more than 32 pins are passed — one pin past that, the `1 <<
+/// pin` state masks (and the `2^unknowns` completion count) would silently
+/// wrap in release builds. Real tables stop far earlier: a 32-pin gate
+/// would need a 4-billion-entry table.
 fn averaged_table_lookup(table: &[f64], pins: impl Iterator<Item = Logic>) -> f64 {
     let mut base_state = 0u32;
-    let mut unknown_pins: Vec<usize> = Vec::new();
+    let mut unknown_mask = 0u32;
     for (pin, value) in pins.enumerate() {
+        assert!(pin < 32, "leakage tables support at most 32 input pins");
         match value {
             Logic::One => base_state |= 1 << pin,
             Logic::Zero => {}
-            Logic::X => unknown_pins.push(pin),
+            Logic::X => unknown_mask |= 1 << pin,
         }
     }
-    if unknown_pins.is_empty() {
+    if unknown_mask == 0 {
         return table[base_state as usize];
     }
-    let combinations = 1u32 << unknown_pins.len();
     let mut total = 0.0;
-    for completion in 0..combinations {
-        let mut state = base_state;
-        for (bit, &pin) in unknown_pins.iter().enumerate() {
-            if (completion >> bit) & 1 == 1 {
-                state |= 1 << pin;
-            }
+    let mut completion = 0u32;
+    loop {
+        total += table[(base_state | completion) as usize];
+        completion = completion.wrapping_sub(unknown_mask) & unknown_mask;
+        if completion == 0 {
+            break;
         }
-        total += table[state as usize];
     }
-    total / f64::from(combinations)
+    total / (1u64 << unknown_mask.count_ones()) as f64
 }
 
 /// Running average of leakage over a sequence of observed circuit states
@@ -339,6 +350,41 @@ mod tests {
         let ones =
             estimator.circuit_leakage(&n, &ev.evaluate(&n, &vec![Logic::One; ev.inputs().len()]));
         assert_ne!(zeros, ones);
+    }
+
+    /// With several unknown pins the bitmask enumeration must equal the
+    /// brute-force mean over every completion.
+    #[test]
+    fn multiple_unknown_pins_average_over_all_completions() {
+        let mut n = Netlist::new("t");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let c = n.add_input("c");
+        let d = n.add_input("d");
+        let g = n.add_gate(GateKind::Nand, &[a, b, c, d], "g");
+        n.mark_output(g.output);
+        let library = LeakageLibrary::cmos45();
+        let estimator = LeakageEstimator::new(&n, &library);
+        let table = library.gate_table(GateKind::Nand, 4);
+
+        // b and d unknown, a = 1, c = 0: average over states with pin 0
+        // set and pins 1/3 free.
+        let mut values = vec![Logic::X; n.net_count()];
+        values[a.index()] = Logic::One;
+        values[c.index()] = Logic::Zero;
+        let expected: f64 = [0b0001, 0b0011, 0b1001, 0b1011]
+            .iter()
+            .map(|&state: &usize| table[state])
+            .sum::<f64>()
+            / 4.0;
+        let got = estimator.gate_leakage(&n, g.gate, &values);
+        assert!((got - expected).abs() < 1e-9, "{got} != {expected}");
+
+        // All four unknown: the plain table mean.
+        let all_x = vec![Logic::X; n.net_count()];
+        let mean = table.iter().sum::<f64>() / table.len() as f64;
+        let got = estimator.gate_leakage(&n, g.gate, &all_x);
+        assert!((got - mean).abs() < 1e-9, "{got} != {mean}");
     }
 
     #[test]

@@ -1,7 +1,7 @@
 use scanpower_netlist::{topo, GateId, GateKind, NetId, Netlist};
 use scanpower_sim::kernel::pack_bool_patterns;
 use scanpower_sim::patterns::random_bool_patterns;
-use scanpower_sim::{LogicWord, PackedWord, SimKernel};
+use scanpower_sim::{BlockDriver, LogicWord, PackedWord, SimKernel};
 
 use crate::leakage::LeakageLibrary;
 
@@ -70,6 +70,11 @@ impl LeakageObservability {
     /// exact under reconvergent fanout (the analytic pass assumes gate
     /// inputs are independent); the backward accumulation is shared.
     ///
+    /// The blocks are sharded across the default [`BlockDriver`] (one
+    /// kernel clone per worker); see
+    /// [`LeakageObservability::compute_sampled_with`] for an explicit
+    /// driver.
+    ///
     /// # Panics
     ///
     /// Panics if `sample_blocks` is 0 or the combinational part of the
@@ -81,23 +86,59 @@ impl LeakageObservability {
         sample_blocks: usize,
         seed: u64,
     ) -> LeakageObservability {
+        Self::compute_sampled_with(
+            netlist,
+            library,
+            sample_blocks,
+            seed,
+            &BlockDriver::default(),
+        )
+    }
+
+    /// [`LeakageObservability::compute_sampled`] with an explicit
+    /// [`BlockDriver`]. Every block's pattern set depends only on its block
+    /// index and every per-net one-count is an integer, so the result is
+    /// bit-identical for every thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sample_blocks` is 0 or the combinational part of the
+    /// netlist is cyclic.
+    #[must_use]
+    pub fn compute_sampled_with(
+        netlist: &Netlist,
+        library: &LeakageLibrary,
+        sample_blocks: usize,
+        seed: u64,
+        driver: &BlockDriver,
+    ) -> LeakageObservability {
         assert!(sample_blocks > 0, "at least one block of samples required");
-        let mut kernel = SimKernel::<PackedWord>::new(netlist);
+        let kernel = SimKernel::<PackedWord>::new(netlist);
         let order = kernel.order().to_vec();
         let width = kernel.inputs().len();
         let net_count = netlist.net_count();
 
+        let block_ones: Vec<Vec<u64>> = driver.map_with(
+            sample_blocks,
+            || kernel.clone(),
+            |kernel, block| {
+                let patterns = random_bool_patterns(
+                    width,
+                    64,
+                    seed ^ (block as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+                );
+                let inputs = pack_bool_patterns(&patterns);
+                let values = kernel.evaluate(netlist, &inputs);
+                values
+                    .iter()
+                    .map(|value| u64::from(value.ones().count_ones()))
+                    .collect()
+            },
+        );
         let mut ones = vec![0u64; net_count];
-        for block in 0..sample_blocks {
-            let patterns = random_bool_patterns(
-                width,
-                64,
-                seed ^ (block as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15),
-            );
-            let inputs = pack_bool_patterns(&patterns);
-            let values = kernel.evaluate(netlist, &inputs);
-            for (count, value) in ones.iter_mut().zip(values) {
-                *count += u64::from(value.ones().count_ones());
+        for block in block_ones {
+            for (count, block_count) in ones.iter_mut().zip(block) {
+                *count += block_count;
             }
         }
         let samples = (sample_blocks * PackedWord::LANES) as f64;
@@ -380,6 +421,31 @@ mod tests {
         let sampled = LeakageObservability::compute_sampled(&n, &library, 8, 3);
         assert!((analytic.probability(and.output) - 0.25).abs() < 1e-12);
         assert_eq!(sampled.probability(and.output), 0.0);
+    }
+
+    /// The sampled forward pass is bit-identical for every thread count
+    /// (integer one-counts merged in block order).
+    #[test]
+    fn sampled_observability_is_identical_across_thread_counts() {
+        let n = bench::parse(bench::S27_BENCH, "s27").unwrap();
+        let library = LeakageLibrary::cmos45();
+        let sequential = LeakageObservability::compute_sampled_with(
+            &n,
+            &library,
+            11,
+            42,
+            &BlockDriver::sequential(),
+        );
+        for threads in [0, 2, 3, 8] {
+            let parallel = LeakageObservability::compute_sampled_with(
+                &n,
+                &library,
+                11,
+                42,
+                &BlockDriver::new(threads),
+            );
+            assert_eq!(parallel, sequential, "threads {threads}");
+        }
     }
 
     #[test]

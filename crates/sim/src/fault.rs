@@ -164,14 +164,45 @@ impl FaultSim {
         block: &[Vec<bool>],
         detected: &mut [bool],
     ) -> BlockDetections {
-        assert_eq!(faults.len(), detected.len(), "one flag per fault");
-        assert!(block.len() <= 64, "at most 64 patterns per block");
         let mut result = BlockDetections {
             newly_detected: 0,
             new_per_lane: vec![0; block.len()],
         };
+        for (fault, lanes) in self.detect_block_lanes(netlist, faults, block, detected) {
+            detected[fault] = true;
+            result.newly_detected += 1;
+            result.new_per_lane[lanes.trailing_zeros() as usize] += 1;
+        }
+        result
+    }
+
+    /// Fault-simulates one block of up to 64 patterns against a *frozen*
+    /// snapshot of the detected flags and returns, for every still-active
+    /// fault the block detects, `(fault index, detecting-lane mask)` — bit
+    /// `k` of the mask is set when pattern `k` of the block detects the
+    /// fault. Nothing is mutated, and because fault effects are independent
+    /// of each other, the masks are exactly what a sequential loop with
+    /// fault dropping would have observed — which is what lets the
+    /// block-parallel driver fault-simulate many blocks concurrently
+    /// against one snapshot and merge the masks afterwards in pattern
+    /// order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than 64 patterns are passed, a pattern has the wrong
+    /// width, or `detected.len() != faults.len()`.
+    #[must_use]
+    pub fn detect_block_lanes(
+        &self,
+        netlist: &Netlist,
+        faults: &[Fault],
+        block: &[Vec<bool>],
+        detected: &[bool],
+    ) -> Vec<(usize, u64)> {
+        assert_eq!(faults.len(), detected.len(), "one flag per fault");
+        assert!(block.len() <= 64, "at most 64 patterns per block");
         if block.is_empty() {
-            return result;
+            return Vec::new();
         }
         let good = self.good_packed(netlist, block);
         let active_mask = if block.len() == 64 {
@@ -180,8 +211,9 @@ impl FaultSim {
             (1u64 << block.len()) - 1
         };
         let mut faulty = good.clone();
-        for (fault, flag) in faults.iter().zip(detected.iter_mut()) {
-            if *flag {
+        let mut masks = Vec::new();
+        for (index, fault) in faults.iter().enumerate() {
+            if detected[index] {
                 continue;
             }
             let forced = fault.forced_word();
@@ -192,12 +224,10 @@ impl FaultSim {
             let lanes =
                 self.detecting_lanes(netlist, &good, &mut faulty, fault, forced, active_mask);
             if lanes != 0 {
-                *flag = true;
-                result.newly_detected += 1;
-                result.new_per_lane[lanes.trailing_zeros() as usize] += 1;
+                masks.push((index, lanes));
             }
         }
-        result
+        masks
     }
 
     /// Marks which of `faults` are detected by `patterns`, updating
@@ -420,6 +450,38 @@ mod tests {
             block.newly_detected,
             sequential_credit.iter().sum::<usize>()
         );
+    }
+
+    /// Merging the frozen-snapshot lane masks by first set bit must equal
+    /// the mutating block path — including on a partial (<64-pattern)
+    /// block. This is the invariant the parallel ATPG random phase builds
+    /// on.
+    #[test]
+    fn lane_masks_against_snapshot_merge_like_the_mutating_path() {
+        let n = bench::parse(bench::S27_BENCH, "s27").unwrap();
+        let sim = FaultSim::new(&n);
+        let faults = all_net_faults(&n);
+        let patterns = random_bool_patterns(n.combinational_inputs().len(), 40, 21);
+
+        let mut mutated = vec![false; faults.len()];
+        let block = sim.detect_block_into(&n, &faults, &patterns, &mut mutated);
+
+        let snapshot = vec![false; faults.len()];
+        let masks = sim.detect_block_lanes(&n, &faults, &patterns, &snapshot);
+        let mut merged = snapshot;
+        let mut per_lane = vec![0usize; patterns.len()];
+        for &(fault, lanes) in &masks {
+            assert!(lanes < (1 << patterns.len()), "mask outside the block");
+            merged[fault] = true;
+            per_lane[lanes.trailing_zeros() as usize] += 1;
+        }
+        assert_eq!(merged, mutated);
+        assert_eq!(per_lane, block.new_per_lane);
+        assert_eq!(masks.len(), block.newly_detected);
+
+        // Faults already detected in the snapshot are skipped entirely.
+        let again = sim.detect_block_lanes(&n, &faults, &patterns, &merged);
+        assert!(again.is_empty());
     }
 
     #[test]

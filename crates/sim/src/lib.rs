@@ -20,6 +20,11 @@
 //!   per-net transition counts and per-cycle state observation.
 //! * [`fault`] — 64-pattern-per-pass stuck-at fault simulation used by the
 //!   ATPG substitute.
+//! * [`parallel`] — the [`BlockDriver`]: deterministic sharding of
+//!   independent ≤64-lane blocks across threads (scoped threads by default,
+//!   rayon behind the `parallel-rayon` feature, sequential fallback at one
+//!   thread), with results merged in block order so every reduction is
+//!   bit-identical to the sequential loop.
 //! * [`patterns`] — deterministic random pattern generation.
 //!
 //! # Examples
@@ -60,6 +65,7 @@ pub mod fault;
 mod incremental;
 pub mod kernel;
 mod logic;
+pub mod parallel;
 pub mod patterns;
 pub mod scan;
 
@@ -67,3 +73,4 @@ pub use eval::Evaluator;
 pub use incremental::IncrementalSim;
 pub use kernel::{LogicWord, PackedWord, SimKernel};
 pub use logic::Logic;
+pub use parallel::BlockDriver;

@@ -1,0 +1,437 @@
+//! Deterministic block-parallel execution driver.
+//!
+//! Every 64-wide consumer in the workspace (the ATPG random phase, the
+//! minimum-leakage Monte-Carlo, the sampled observability forward pass)
+//! works in *independent* blocks of at most [`BLOCK_LANES`] circuit states:
+//! each block is one packed pass through a [`SimKernel`], and nothing a
+//! block computes depends on any other block. [`BlockDriver`] exploits that
+//! shape: it splits a job list (or a flat pattern/candidate list) into
+//! blocks, runs each block on a worker thread with its own per-thread
+//! context (typically a [`SimKernel`] clone), and hands the results back
+//! **in block order**, so every reduction the caller performs is performed
+//! in exactly the order the sequential loop would have used — the output is
+//! bit-identical regardless of the thread count.
+//!
+//! Backends:
+//!
+//! * thread count `1` (or a single job) — the zero-thread fallback: the
+//!   closures run inline on the caller's thread, no worker is spawned;
+//! * default — sharding over [`std::thread::scope`] workers pulling jobs
+//!   from an atomic counter;
+//! * `parallel-rayon` feature — recursive [`rayon::join`] splitting (the
+//!   offline build vendors a stand-in; against real rayon the driver
+//!   inherits its pool).
+//!
+//! [`SimKernel`]: crate::SimKernel
+
+#[cfg(not(feature = "parallel-rayon"))]
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Number of circuit states per block: the lane count of
+/// [`PackedWord`](crate::PackedWord).
+pub const BLOCK_LANES: usize = 64;
+
+/// Splits independent ≤[`BLOCK_LANES`]-lane blocks across threads and
+/// merges the results deterministically (see the [module docs](self)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockDriver {
+    threads: usize,
+}
+
+impl Default for BlockDriver {
+    /// The automatic driver: one worker per available hardware thread.
+    fn default() -> Self {
+        BlockDriver::auto()
+    }
+}
+
+impl BlockDriver {
+    /// Builds a driver with an explicit thread count; `0` selects the
+    /// automatic count (see [`BlockDriver::auto`]), `1` the sequential
+    /// fallback.
+    #[must_use]
+    pub fn new(threads: usize) -> BlockDriver {
+        if threads == 0 {
+            BlockDriver::auto()
+        } else {
+            BlockDriver { threads }
+        }
+    }
+
+    /// The sequential fallback: every block runs inline on the caller's
+    /// thread, in order. Parallel runs produce bit-identical results to
+    /// this driver.
+    #[must_use]
+    pub fn sequential() -> BlockDriver {
+        BlockDriver { threads: 1 }
+    }
+
+    /// One worker per available hardware thread, overridable with the
+    /// `SCANPOWER_THREADS` environment variable (a positive integer; other
+    /// values are ignored).
+    #[must_use]
+    pub fn auto() -> BlockDriver {
+        if let Some(threads) = std::env::var("SCANPOWER_THREADS")
+            .ok()
+            .and_then(|raw| raw.trim().parse::<usize>().ok())
+            .filter(|&threads| threads > 0)
+        {
+            return BlockDriver { threads };
+        }
+        BlockDriver {
+            threads: std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+        }
+    }
+
+    /// The configured worker count (at least 1).
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Number of ≤[`BLOCK_LANES`]-lane blocks a list of `items` splits
+    /// into.
+    #[must_use]
+    pub fn block_count(items: usize) -> usize {
+        items.div_ceil(BLOCK_LANES)
+    }
+
+    /// Runs `jobs` independent jobs and returns their results indexed by
+    /// job — `out[j] == run(j)` — whatever thread ran which job.
+    pub fn map<R, F>(&self, jobs: usize, run: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        self.map_with(jobs, || (), |(): &mut (), job| run(job))
+    }
+
+    /// Like [`BlockDriver::map`], but every worker thread first builds one
+    /// context with `init` (a per-thread [`SimKernel`] clone, a scratch
+    /// buffer, …) and reuses it across all jobs it runs. Results must not
+    /// depend on the context's history — job assignment to workers is
+    /// scheduling-dependent.
+    ///
+    /// [`SimKernel`]: crate::SimKernel
+    pub fn map_with<C, R, I, F>(&self, jobs: usize, init: I, run: F) -> Vec<R>
+    where
+        R: Send,
+        I: Fn() -> C + Sync,
+        F: Fn(&mut C, usize) -> R + Sync,
+    {
+        if jobs == 0 {
+            return Vec::new();
+        }
+        let workers = self.threads.min(jobs);
+        if workers <= 1 {
+            let mut context = init();
+            return (0..jobs).map(|job| run(&mut context, job)).collect();
+        }
+        let mut slots = parallel_map(jobs, workers, &init, &run);
+        slots
+            .drain(..)
+            .map(|slot| slot.expect("every job produces a result"))
+            .collect()
+    }
+
+    /// Splits `items` into ≤[`BLOCK_LANES`]-item blocks and maps each block
+    /// with `run(block_index, block)`; results come back in block order.
+    /// The final block may be shorter than [`BLOCK_LANES`].
+    pub fn map_blocks<T, R, F>(&self, items: &[T], run: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &[T]) -> R + Sync,
+    {
+        self.map_blocks_with(items, || (), |(): &mut (), block, chunk| run(block, chunk))
+    }
+
+    /// Like [`BlockDriver::map_blocks`] with a per-thread context built by
+    /// `init` (see [`BlockDriver::map_with`]).
+    pub fn map_blocks_with<C, T, R, I, F>(&self, items: &[T], init: I, run: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        I: Fn() -> C + Sync,
+        F: Fn(&mut C, usize, &[T]) -> R + Sync,
+    {
+        self.map_with(Self::block_count(items.len()), init, |context, block| {
+            let start = block * BLOCK_LANES;
+            let end = (start + BLOCK_LANES).min(items.len());
+            run(context, block, &items[start..end])
+        })
+    }
+
+    /// Maps every ≤[`BLOCK_LANES`]-item block of `items` in parallel and
+    /// feeds the block results to `merge` **sequentially, in block order**
+    /// on the calling thread — the deterministic-reduction counterpart of
+    /// [`BlockDriver::map_blocks`].
+    pub fn for_each_block<T, R, F, M>(&self, items: &[T], run: F, mut merge: M)
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &[T]) -> R + Sync,
+        M: FnMut(usize, R),
+    {
+        for (block, result) in self.map_blocks(items, run).into_iter().enumerate() {
+            merge(block, result);
+        }
+    }
+}
+
+/// Default backend: scoped worker threads pulling job indices from a shared
+/// atomic counter. Each worker stashes `(job, result)` pairs locally; the
+/// caller scatters them back into job order, so scheduling never leaks into
+/// the output.
+#[cfg(not(feature = "parallel-rayon"))]
+fn parallel_map<C, R, I, F>(jobs: usize, workers: usize, init: &I, run: &F) -> Vec<Option<R>>
+where
+    R: Send,
+    I: Fn() -> C + Sync,
+    F: Fn(&mut C, usize) -> R + Sync,
+{
+    let next = AtomicUsize::new(0);
+    let parts: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut context = init();
+                    let mut part = Vec::new();
+                    loop {
+                        let job = next.fetch_add(1, Ordering::Relaxed);
+                        if job >= jobs {
+                            break;
+                        }
+                        part.push((job, run(&mut context, job)));
+                    }
+                    part
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|handle| match handle.join() {
+                Ok(part) => part,
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
+            .collect()
+    });
+    let mut slots: Vec<Option<R>> = (0..jobs).map(|_| None).collect();
+    for part in parts {
+        for (job, result) in part {
+            slots[job] = Some(result);
+        }
+    }
+    slots
+}
+
+/// `parallel-rayon` backend: recursive binary splitting over `rayon::join`
+/// down to contiguous runs of about `jobs / workers` jobs; each leaf builds
+/// one context. Results land in job-indexed slots, so the merge order is
+/// identical to the default backend's.
+#[cfg(feature = "parallel-rayon")]
+fn parallel_map<C, R, I, F>(jobs: usize, workers: usize, init: &I, run: &F) -> Vec<Option<R>>
+where
+    R: Send,
+    I: Fn() -> C + Sync,
+    F: Fn(&mut C, usize) -> R + Sync,
+{
+    let mut slots: Vec<Option<R>> = (0..jobs).map(|_| None).collect();
+    let leaf = jobs.div_ceil(workers).max(1);
+    rayon_fill(0, &mut slots, leaf, init, run);
+    slots
+}
+
+#[cfg(feature = "parallel-rayon")]
+fn rayon_fill<C, R, I, F>(offset: usize, slots: &mut [Option<R>], leaf: usize, init: &I, run: &F)
+where
+    R: Send,
+    I: Fn() -> C + Sync,
+    F: Fn(&mut C, usize) -> R + Sync,
+{
+    if slots.len() <= leaf {
+        let mut context = init();
+        for (index, slot) in slots.iter_mut().enumerate() {
+            *slot = Some(run(&mut context, offset + index));
+        }
+        return;
+    }
+    let mid = slots.len() / 2;
+    let (left, right) = slots.split_at_mut(mid);
+    rayon::join(
+        || rayon_fill(offset, left, leaf, init, run),
+        || rayon_fill(offset + mid, right, leaf, init, run),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::{pack_logic_patterns, PackedWord, SimKernel};
+    use crate::{Evaluator, Logic};
+    use scanpower_netlist::bench;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn drivers() -> [BlockDriver; 4] {
+        [
+            BlockDriver::sequential(),
+            BlockDriver::new(2),
+            BlockDriver::new(3),
+            BlockDriver::new(16),
+        ]
+    }
+
+    #[test]
+    fn zero_threads_resolves_to_auto() {
+        assert!(BlockDriver::new(0).threads() >= 1);
+        assert_eq!(BlockDriver::new(5).threads(), 5);
+        assert_eq!(BlockDriver::sequential().threads(), 1);
+    }
+
+    #[test]
+    fn block_count_rounds_up() {
+        assert_eq!(BlockDriver::block_count(0), 0);
+        assert_eq!(BlockDriver::block_count(1), 1);
+        assert_eq!(BlockDriver::block_count(64), 1);
+        assert_eq!(BlockDriver::block_count(65), 2);
+        assert_eq!(BlockDriver::block_count(150), 3);
+    }
+
+    #[test]
+    fn map_preserves_job_order_for_every_thread_count() {
+        let reference: Vec<usize> = (0..97).map(|job| job * job).collect();
+        for driver in drivers() {
+            assert_eq!(driver.map(97, |job| job * job), reference);
+        }
+        assert!(BlockDriver::new(8).map(0, |job| job).is_empty());
+    }
+
+    #[test]
+    fn map_blocks_splits_into_64_lane_blocks_with_partial_tail() {
+        let items: Vec<u32> = (0..150).collect();
+        for driver in drivers() {
+            let sizes = driver.map_blocks(&items, |block, chunk| {
+                // Every block sees the right contiguous slice.
+                assert_eq!(chunk[0], (block * BLOCK_LANES) as u32);
+                chunk.len()
+            });
+            assert_eq!(sizes, vec![64, 64, 22]);
+        }
+    }
+
+    #[test]
+    fn map_with_builds_one_context_per_worker_and_reuses_it() {
+        // The context records how many jobs it served; the total over all
+        // contexts must be the job count, and under the sequential driver a
+        // single context serves everything.
+        let served = std::sync::Mutex::new(Vec::new());
+        BlockDriver::sequential().map_with(
+            10,
+            || 0usize,
+            |count, _job| {
+                *count += 1;
+                served.lock().unwrap().push(*count);
+            },
+        );
+        assert_eq!(served.into_inner().unwrap(), (1..=10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn map_with_reuses_contexts_under_parallel_drivers() {
+        // Contexts are per worker (scoped-thread backend) or per contiguous
+        // leaf (rayon backend) — never per job: far fewer inits than jobs,
+        // and every job runs exactly once whatever the scheduling.
+        for threads in [2, 3, 8] {
+            let inits = AtomicUsize::new(0);
+            let jobs = 64usize;
+            let result = BlockDriver::new(threads).map_with(
+                jobs,
+                || {
+                    inits.fetch_add(1, Ordering::Relaxed);
+                },
+                |(), job| job,
+            );
+            assert_eq!(result, (0..jobs).collect::<Vec<_>>());
+            let inits = inits.into_inner();
+            assert!(inits >= 1, "threads {threads}: no context built");
+            assert!(
+                inits <= 2 * threads,
+                "threads {threads}: {inits} contexts for {jobs} jobs — init ran per job?"
+            );
+        }
+    }
+
+    #[test]
+    fn for_each_block_merges_in_block_order() {
+        let items: Vec<u64> = (0..200).collect();
+        for driver in drivers() {
+            let mut seen = Vec::new();
+            driver.for_each_block(
+                &items,
+                |_block, chunk| chunk.iter().sum::<u64>(),
+                |block, sum| seen.push((block, sum)),
+            );
+            let expected: Vec<(usize, u64)> = items
+                .chunks(BLOCK_LANES)
+                .enumerate()
+                .map(|(block, chunk)| (block, chunk.iter().sum()))
+                .collect();
+            assert_eq!(seen, expected);
+        }
+    }
+
+    /// Full agreement of the parallel kernel path with scalar evaluation:
+    /// ternary patterns (X propagation included) split into blocks with a
+    /// partial tail, one kernel clone per worker.
+    #[test]
+    fn kernel_blocks_match_scalar_across_thread_counts() {
+        let netlist = bench::parse(bench::S27_BENCH, "s27").unwrap();
+        let scalar = Evaluator::new(&netlist);
+        let prototype = SimKernel::<PackedWord>::new(&netlist);
+        let width = prototype.inputs().len();
+
+        // 150 patterns -> blocks of 64, 64, 22; a third of positions X.
+        let patterns: Vec<Vec<Logic>> = (0..150usize)
+            .map(|index| {
+                (0..width)
+                    .map(|bit| match (index + 3 * bit) % 3 {
+                        0 => Logic::Zero,
+                        1 => Logic::One,
+                        _ => Logic::X,
+                    })
+                    .collect()
+            })
+            .collect();
+
+        let reference: Vec<Vec<Logic>> = patterns
+            .iter()
+            .map(|pattern| scalar.evaluate(&netlist, pattern).to_vec())
+            .collect();
+
+        for driver in drivers() {
+            let blocks = driver.map_blocks_with(
+                &patterns,
+                || prototype.clone(),
+                |kernel, _block, chunk| {
+                    kernel
+                        .evaluate(&netlist, &pack_logic_patterns(chunk))
+                        .to_vec()
+                },
+            );
+            for (block, values) in blocks.iter().enumerate() {
+                for lane in 0..patterns[block * BLOCK_LANES..].len().min(BLOCK_LANES) {
+                    let pattern = block * BLOCK_LANES + lane;
+                    for net in netlist.net_ids() {
+                        assert_eq!(
+                            values[net.index()].lane(lane),
+                            reference[pattern][net.index()],
+                            "threads {} pattern {pattern} net {}",
+                            driver.threads(),
+                            netlist.net(net).name
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

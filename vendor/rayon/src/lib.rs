@@ -1,0 +1,72 @@
+//! Offline subset of the `rayon` 1.x API.
+//!
+//! The workspace builds in a container without crates.io access, so this
+//! crate reimplements exactly the surface the `scanpower` crates use behind
+//! the `parallel-rayon` feature of `scanpower-sim`: [`join`] and
+//! [`current_num_threads`]. Work is executed on plain scoped OS threads
+//! instead of a work-stealing pool; the call-site semantics (both closures
+//! run, possibly concurrently, and panics are propagated to the caller) are
+//! the ones the real crate documents for `rayon::join`.
+
+#![forbid(unsafe_code)]
+
+/// Runs `oper_a` and `oper_b`, potentially in parallel, and returns both
+/// results.
+///
+/// Like `rayon::join`, the call only returns once both closures have
+/// finished; if either closure panics, the panic is propagated to the
+/// caller after the other closure has completed.
+pub fn join<A, B, RA, RB>(oper_a: A, oper_b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    std::thread::scope(|scope| {
+        let handle = scope.spawn(oper_b);
+        let result_a = oper_a();
+        match handle.join() {
+            Ok(result_b) => (result_a, result_b),
+            Err(payload) => std::panic::resume_unwind(payload),
+        }
+    })
+}
+
+/// Number of threads the (virtual) pool would use: the available hardware
+/// parallelism, 1 when it cannot be queried.
+#[must_use]
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_returns_both_results() {
+        let (a, b) = join(|| 2 + 2, || "ok");
+        assert_eq!(a, 4);
+        assert_eq!(b, "ok");
+    }
+
+    #[test]
+    fn join_runs_nested() {
+        let ((a, b), (c, d)) = join(|| join(|| 1, || 2), || join(|| 3, || 4));
+        assert_eq!((a, b, c, d), (1, 2, 3, 4));
+    }
+
+    #[test]
+    fn join_propagates_panics() {
+        let outcome = std::panic::catch_unwind(|| {
+            join(|| 1, || panic!("boom"));
+        });
+        assert!(outcome.is_err());
+    }
+
+    #[test]
+    fn num_threads_is_positive() {
+        assert!(current_num_threads() >= 1);
+    }
+}

@@ -28,9 +28,11 @@ pub struct AtpgConfig {
     /// RNG seed; the whole flow is deterministic for a given seed.
     pub seed: u64,
     /// Worker threads for the random phase's block-parallel fault
-    /// simulation: `0` = one per available hardware thread, `1` = the
-    /// sequential fallback. The generated test set is bit-identical
-    /// whatever the thread count.
+    /// simulation, resolved by the workspace-wide
+    /// [`resolve_worker_threads`](scanpower_sim::parallel::resolve_worker_threads)
+    /// policy: `0` = one per available hardware thread (`SCANPOWER_THREADS`
+    /// overrides), `1` = the sequential fallback. The generated test set is
+    /// bit-identical whatever the thread count.
     pub threads: usize,
 }
 

@@ -1,0 +1,121 @@
+//! Scan-shift replay bench: the scalar event-driven `ScanShiftSim` vs the
+//! packed 64-pattern `PackedScanShiftSim` on the raw replay (transition
+//! counting only) and with the static-power observer attached, plus the
+//! multi-circuit Table I harness at 1 worker thread vs the automatic count.
+//! Both comparisons are bit-identical by construction — asserted once
+//! before timing — so the bench measures speed only. A snapshot of the
+//! measured means lives in `BENCH_scan_shift.json` at the repository root.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use scanpower_bench::{bench_circuit, bench_options};
+use scanpower_core::experiment::{run_table1, ExperimentOptions};
+use scanpower_netlist::generator::CircuitFamily;
+use scanpower_power::{LeakageAverage, LeakageEstimator, LeakageLibrary, PackedShiftLeakage};
+use scanpower_sim::patterns::random_bool_patterns;
+use scanpower_sim::scan::{ScanPattern, ScanShiftSim, ShiftConfig, ShiftPhase};
+use scanpower_sim::{BlockDriver, PackedScanShiftSim};
+
+fn replay_patterns(
+    circuit: &scanpower_netlist::Netlist,
+    count: usize,
+    seed: u64,
+) -> Vec<ScanPattern> {
+    let pi = circuit.primary_inputs().len();
+    let ff = circuit.dff_count();
+    random_bool_patterns(pi + ff, count, seed)
+        .into_iter()
+        .map(|bits| ScanPattern::from_bools(&bits[..pi], &bits[pi..]))
+        .collect()
+}
+
+fn scan_shift(c: &mut Criterion) {
+    let circuit = bench_circuit("s1238");
+    let patterns = replay_patterns(&circuit, 128, 7);
+    let config = ShiftConfig::traditional(circuit.dff_count());
+    let scalar = ScanShiftSim::new(&circuit);
+    let packed = PackedScanShiftSim::new(&circuit);
+    assert_eq!(
+        scalar.run(&circuit, &patterns, &config),
+        packed.run(&circuit, &patterns, &config),
+        "packed replay must be bit-identical to the scalar replay"
+    );
+
+    let mut group = c.benchmark_group("scan_shift");
+    group.sample_size(10);
+    group.bench_function("replay_128_scalar", |b| {
+        b.iter(|| scalar.run(black_box(&circuit), &patterns, &config));
+    });
+    group.bench_function("replay_128_packed", |b| {
+        b.iter(|| packed.run(black_box(&circuit), &patterns, &config));
+    });
+
+    // With the leakage observer attached (the Table I configuration).
+    let library = LeakageLibrary::cmos45();
+    let estimator = LeakageEstimator::new(&circuit, &library);
+    group.bench_function("replay_128_scalar_with_leakage", |b| {
+        b.iter(|| {
+            let mut average = LeakageAverage::new();
+            let stats = scalar.run_with_observer(
+                black_box(&circuit),
+                &patterns,
+                &config,
+                |phase, values| {
+                    if phase == ShiftPhase::Shift {
+                        average.add(estimator.circuit_leakage(&circuit, values));
+                    }
+                },
+            );
+            (stats, average)
+        });
+    });
+    group.bench_function("replay_128_packed_with_leakage", |b| {
+        b.iter(|| {
+            let mut observer = PackedShiftLeakage::new(&circuit, &estimator);
+            let stats = packed.run_with_observer(
+                black_box(&circuit),
+                &patterns,
+                &config,
+                |phase, values, lanes| observer.observe(phase, values, lanes),
+            );
+            (stats, observer.into_average())
+        });
+    });
+    group.finish();
+
+    // Multi-circuit Table I sharding: 1 thread vs automatic.
+    let specs: Vec<CircuitFamily> = ["s344", "s382", "s444", "s510"]
+        .iter()
+        .map(|name| CircuitFamily::iscas89_like(name).expect("known circuit"))
+        .collect();
+    let sequential = ExperimentOptions {
+        threads: 1,
+        ..bench_options()
+    };
+    let automatic = ExperimentOptions {
+        threads: 0,
+        ..bench_options()
+    };
+    assert_eq!(
+        run_table1(&specs, &sequential, Some(0.3), 1),
+        run_table1(&specs, &automatic, Some(0.3), 1),
+        "thread count must never change the report"
+    );
+    println!(
+        "\nscan_shift — auto driver uses {} worker thread(s)",
+        BlockDriver::auto().threads()
+    );
+
+    let mut group = c.benchmark_group("scan_shift");
+    group.sample_size(10);
+    group.bench_function("table1_4_circuits_1_thread", |b| {
+        b.iter(|| run_table1(black_box(&specs), &sequential, Some(0.3), 1));
+    });
+    group.bench_function("table1_4_circuits_auto_threads", |b| {
+        b.iter(|| run_table1(black_box(&specs), &automatic, Some(0.3), 1));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, scan_shift);
+criterion_main!(benches);

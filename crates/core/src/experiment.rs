@@ -12,8 +12,11 @@ use serde::{Deserialize, Serialize};
 use scanpower_atpg::{AtpgConfig, AtpgFlow};
 use scanpower_netlist::generator::CircuitFamily;
 use scanpower_netlist::Netlist;
-use scanpower_power::{DynamicPower, LeakageAverage, LeakageEstimator, LeakageLibrary};
-use scanpower_sim::scan::{ScanPattern, ScanShiftSim, ShiftConfig, ShiftPhase};
+use scanpower_power::{
+    DynamicPower, LeakageAverage, LeakageEstimator, LeakageLibrary, PackedShiftLeakage,
+};
+use scanpower_sim::scan::{ScanPattern, ScanShiftSim, ShiftConfig, ShiftPhase, ShiftStats};
+use scanpower_sim::{BlockDriver, PackedScanShiftSim};
 
 use crate::baseline::{traditional_shift_config, InputControlBaseline};
 use crate::proposed::{ProposedMethod, ProposedOptions};
@@ -99,7 +102,7 @@ fn improvement(reference: f64, improved: f64) -> f64 {
 }
 
 /// Options of the per-circuit experiment.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ExperimentOptions {
     /// ATPG configuration used to generate the test set.
     pub atpg: AtpgConfig,
@@ -107,6 +110,37 @@ pub struct ExperimentOptions {
     pub max_patterns: Option<usize>,
     /// Options of the proposed flow.
     pub proposed: ProposedOptions,
+    /// Worker threads for the multi-circuit sharding of [`run_table1`]
+    /// (one circuit per [`BlockDriver`] job): `0` = automatic (one per
+    /// hardware thread, overridable with `SCANPOWER_THREADS` — the shared
+    /// [`resolve_worker_threads`](scanpower_sim::parallel::resolve_worker_threads)
+    /// policy), `1` = the sequential fallback. The report is bit-identical
+    /// whatever the count.
+    #[serde(default)]
+    pub threads: usize,
+    /// Replay the scan-shift process on the packed 64-lane kernel
+    /// ([`PackedScanShiftSim`]) instead of the scalar event-driven
+    /// simulator. Both paths produce bit-identical results; the packed
+    /// replay is the fast default, the scalar path is kept for
+    /// cross-checking.
+    #[serde(default = "default_packed_replay")]
+    pub packed_replay: bool,
+}
+
+fn default_packed_replay() -> bool {
+    true
+}
+
+impl Default for ExperimentOptions {
+    fn default() -> Self {
+        ExperimentOptions {
+            atpg: AtpgConfig::default(),
+            max_patterns: None,
+            proposed: ProposedOptions::default(),
+            threads: 0,
+            packed_replay: default_packed_replay(),
+        }
+    }
 }
 
 impl ExperimentOptions {
@@ -121,6 +155,7 @@ impl ExperimentOptions {
                 ivc_samples: 32,
                 ..ProposedOptions::default()
             },
+            ..ExperimentOptions::default()
         }
     }
 }
@@ -158,21 +193,52 @@ impl CircuitExperiment {
         patterns: &[ScanPattern],
         config: &ShiftConfig,
     ) -> SchemePower {
+        self.evaluate_scheme_stats(netlist, patterns, config).0
+    }
+
+    /// Like [`CircuitExperiment::evaluate_scheme`], but also returns the
+    /// full per-net [`ShiftStats`] of the replay.
+    ///
+    /// The replay runs on the packed 64-pattern simulator when
+    /// [`ExperimentOptions::packed_replay`] is set (the default) and on the
+    /// scalar event-driven simulator otherwise; both produce bit-identical
+    /// stats *and* power numbers — the packed path buffers each block's
+    /// per-cycle lane leakages and accumulates them in the scalar pattern-
+    /// major order ([`PackedShiftLeakage`]), so even the floating-point
+    /// static average matches bit for bit.
+    #[must_use]
+    pub fn evaluate_scheme_stats(
+        &self,
+        netlist: &Netlist,
+        patterns: &[ScanPattern],
+        config: &ShiftConfig,
+    ) -> (SchemePower, ShiftStats) {
         let estimator = LeakageEstimator::new(netlist, &self.library);
-        let sim = ScanShiftSim::new(netlist);
-        let mut leakage = LeakageAverage::new();
-        let stats = sim.run_with_observer(netlist, patterns, config, |phase, values| {
-            if phase == ShiftPhase::Shift {
-                leakage.add(estimator.circuit_leakage(netlist, values));
-            }
-        });
+        let (stats, leakage) = if self.options.packed_replay {
+            let sim = PackedScanShiftSim::new(netlist);
+            let mut leakage = PackedShiftLeakage::new(netlist, &estimator);
+            let stats = sim.run_with_observer(netlist, patterns, config, |phase, values, lanes| {
+                leakage.observe(phase, values, lanes);
+            });
+            (stats, leakage.into_average())
+        } else {
+            let sim = ScanShiftSim::new(netlist);
+            let mut leakage = LeakageAverage::new();
+            let stats = sim.run_with_observer(netlist, patterns, config, |phase, values| {
+                if phase == ShiftPhase::Shift {
+                    leakage.add(estimator.circuit_leakage(netlist, values));
+                }
+            });
+            (stats, leakage)
+        };
         let dynamic = self.dynamic.report(netlist, &stats);
-        SchemePower {
+        let power = SchemePower {
             dynamic_per_hz_uw: dynamic.per_hz_uw,
             static_uw: leakage.average_uw(&self.library),
             total_toggles: stats.total_toggles,
             shift_cycles: stats.shift_cycles,
-        }
+        };
+        (power, stats)
     }
 
     /// Runs the full Table I comparison for `netlist`.
@@ -316,6 +382,21 @@ fn average(values: impl Iterator<Item = f64>) -> f64 {
 /// `scale` optionally shrinks the synthetic circuits (gate and flip-flop
 /// counts) to make smoke runs affordable; `seed` controls the synthetic
 /// netlist generation.
+///
+/// Each circuit's generate → ATPG → replay → power flow is independent and
+/// deterministic, so the circuits are sharded across worker threads as one
+/// [`BlockDriver`] job per circuit ([`ExperimentOptions::threads`]; `0` =
+/// automatic, `1` = strictly sequential) and the rows are merged back in
+/// specification order — the report is bit-identical for any thread count.
+///
+/// When the outer sharding is active, the per-circuit 64-wide consumers
+/// (`AtpgConfig::threads`, `ProposedOptions::threads`) that are left on
+/// automatic get the remaining thread budget (at least the sequential
+/// fallback) instead of each resolving to a full hardware-thread count —
+/// without this, a 12-circuit run on an N-core host would contend with up
+/// to N² workers. Explicit non-zero inner counts are respected, and the
+/// budgeting cannot change the report: every inner consumer is
+/// bit-identical for any thread count.
 #[must_use]
 pub fn run_table1(
     specs: &[CircuitFamily],
@@ -323,18 +404,27 @@ pub fn run_table1(
     scale: Option<f64>,
     seed: u64,
 ) -> Table1Report {
-    let experiment = CircuitExperiment::new(options.clone());
-    let rows = specs
-        .iter()
-        .map(|spec| {
-            let spec = match scale {
-                Some(factor) => spec.scaled(factor),
-                None => spec.clone(),
-            };
-            let circuit = spec.generate(seed);
-            experiment.run(&circuit)
-        })
-        .collect();
+    let driver = BlockDriver::new(options.threads);
+    let mut options = options.clone();
+    let workers = driver.threads().min(specs.len());
+    if workers > 1 {
+        let inner_budget = (driver.threads() / workers).max(1);
+        if options.atpg.threads == 0 {
+            options.atpg.threads = inner_budget;
+        }
+        if options.proposed.threads == 0 {
+            options.proposed.threads = inner_budget;
+        }
+    }
+    let experiment = CircuitExperiment::new(options);
+    let rows = driver.map(specs.len(), |job| {
+        let spec = match scale {
+            Some(factor) => specs[job].scaled(factor),
+            None => specs[job].clone(),
+        };
+        let circuit = spec.generate(seed);
+        experiment.run(&circuit)
+    });
     Table1Report { rows }
 }
 
@@ -384,5 +474,84 @@ mod tests {
     fn improvement_helper_handles_zero_reference() {
         assert_eq!(improvement(0.0, 1.0), 0.0);
         assert!((improvement(4.0, 1.0) - 75.0).abs() < 1e-12);
+    }
+
+    /// The packed replay and the scalar replay must produce bit-identical
+    /// rows — stats are integers and the static average is accumulated in
+    /// the identical order, so plain equality is the right assertion.
+    #[test]
+    fn packed_and_scalar_replay_produce_identical_rows() {
+        let n = bench::parse(bench::S27_BENCH, "s27").unwrap();
+        let packed = CircuitExperiment::new(ExperimentOptions {
+            packed_replay: true,
+            ..ExperimentOptions::fast()
+        });
+        let scalar = CircuitExperiment::new(ExperimentOptions {
+            packed_replay: false,
+            ..ExperimentOptions::fast()
+        });
+        assert!(packed.options().packed_replay);
+        assert_eq!(packed.run(&n), scalar.run(&n));
+    }
+
+    /// Per-scheme `ShiftStats` from the packed replay equal the scalar
+    /// ones exactly, including the per-net toggle counts.
+    #[test]
+    fn evaluate_scheme_stats_agree_between_replays() {
+        use scanpower_sim::patterns::random_bool_patterns;
+        let n = bench::parse(bench::S27_BENCH, "s27").unwrap();
+        let pi = n.primary_inputs().len();
+        let ff = n.dff_count();
+        let patterns: Vec<ScanPattern> = random_bool_patterns(pi + ff, 70, 21)
+            .into_iter()
+            .map(|bits| ScanPattern::from_bools(&bits[..pi], &bits[pi..]))
+            .collect();
+        let packed = CircuitExperiment::new(ExperimentOptions {
+            packed_replay: true,
+            ..ExperimentOptions::fast()
+        });
+        let scalar = CircuitExperiment::new(ExperimentOptions {
+            packed_replay: false,
+            ..ExperimentOptions::fast()
+        });
+        let config = traditional_shift_config(&n);
+        let (packed_power, packed_stats) = packed.evaluate_scheme_stats(&n, &patterns, &config);
+        let (scalar_power, scalar_stats) = scalar.evaluate_scheme_stats(&n, &patterns, &config);
+        assert_eq!(packed_stats, scalar_stats);
+        assert_eq!(packed_power, scalar_power);
+        assert!(packed_stats.total_toggles > 0);
+    }
+
+    /// One circuit per driver job: the whole report is bit-identical for
+    /// every thread count (including more threads than circuits).
+    #[test]
+    fn run_table1_is_identical_across_thread_counts() {
+        let specs = vec![
+            CircuitFamily::iscas89_like("s344").unwrap(),
+            CircuitFamily::iscas89_like("s382").unwrap(),
+            CircuitFamily::iscas89_like("s444").unwrap(),
+        ];
+        let sequential = run_table1(
+            &specs,
+            &ExperimentOptions {
+                threads: 1,
+                ..ExperimentOptions::fast()
+            },
+            Some(0.3),
+            1,
+        );
+        assert_eq!(sequential.rows.len(), 3);
+        for threads in [0, 2, 3, 8] {
+            let parallel = run_table1(
+                &specs,
+                &ExperimentOptions {
+                    threads,
+                    ..ExperimentOptions::fast()
+                },
+                Some(0.3),
+                1,
+            );
+            assert_eq!(parallel, sequential, "threads {threads}");
+        }
     }
 }

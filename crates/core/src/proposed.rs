@@ -3,7 +3,7 @@ use serde::{Deserialize, Serialize};
 use scanpower_netlist::{Netlist, Result};
 use scanpower_power::reorder::{self, ReorderReport};
 use scanpower_power::{InputVectorControl, LeakageEstimator, LeakageLibrary, LeakageObservability};
-use scanpower_sim::{Evaluator, Logic};
+use scanpower_sim::{BlockDriver, Evaluator, Logic};
 use scanpower_timing::DelayModel;
 
 use crate::addmux::{AddMux, MuxPlan};
@@ -35,6 +35,16 @@ pub struct ProposedOptions {
     /// Seed for the randomised steps (don't-care fill, sampled
     /// observability).
     pub seed: u64,
+    /// Worker threads for the flow's 64-wide consumers (the IVC don't-care
+    /// fill and the sampled observability forward pass), resolved by the
+    /// workspace-wide
+    /// [`resolve_worker_threads`](scanpower_sim::parallel::resolve_worker_threads)
+    /// policy: `0` = one per available hardware thread, `1` = the
+    /// sequential fallback. The flow's result is bit-identical whatever the
+    /// count; `run_table1` budgets this knob when it shards circuits across
+    /// an outer driver.
+    #[serde(default)]
+    pub threads: usize,
 }
 
 impl Default for ProposedOptions {
@@ -47,6 +57,7 @@ impl Default for ProposedOptions {
             mux_fraction: None,
             sampled_observability: None,
             seed: 0x0da7_e2005,
+            threads: 0,
         }
     }
 }
@@ -108,11 +119,12 @@ impl ProposedMethod {
         // Step 2: leakage observability of every line. The sampled variant
         // runs the forward pass on the 64-wide packed kernel.
         let observability = match self.options.sampled_observability {
-            Some(blocks) => LeakageObservability::compute_sampled(
+            Some(blocks) => LeakageObservability::compute_sampled_with(
                 netlist,
                 &self.library,
                 blocks,
                 self.options.seed,
+                &BlockDriver::new(self.options.threads),
             ),
             None => LeakageObservability::compute(netlist, &self.library),
         };
@@ -146,7 +158,8 @@ impl ProposedMethod {
             .filter(|(_, net)| controlled.contains(net))
             .map(|(i, _)| i)
             .collect();
-        let ivc = InputVectorControl::with_budget(self.options.ivc_samples, self.options.seed);
+        let ivc = InputVectorControl::with_budget(self.options.ivc_samples, self.options.seed)
+            .with_threads(self.options.threads);
         let filled = ivc.search_subset(
             netlist,
             &estimator,
@@ -307,6 +320,33 @@ mod tests {
         let result = ProposedMethod::new(options).apply(&circuit).unwrap();
         assert!(result.structure.netlist().validate().is_ok());
         assert!(result.scan_mode_leakage_na > 0.0);
+    }
+
+    /// The flow's 64-wide consumers are thread-count invariant, so the
+    /// whole `ProposedResult` must be identical whatever the `threads`
+    /// knob — this is what lets `run_table1` budget it freely.
+    #[test]
+    fn flow_is_identical_across_thread_counts() {
+        let circuit = CircuitFamily::iscas89_like("s344").unwrap().generate(3);
+        let base = ProposedOptions {
+            sampled_observability: Some(4),
+            ..ProposedOptions::default()
+        };
+        let sequential = ProposedMethod::new(ProposedOptions {
+            threads: 1,
+            ..base.clone()
+        })
+        .apply(&circuit)
+        .unwrap();
+        for threads in [0, 2, 3] {
+            let parallel = ProposedMethod::new(ProposedOptions {
+                threads,
+                ..base.clone()
+            })
+            .apply(&circuit)
+            .unwrap();
+            assert_eq!(parallel, sequential, "threads {threads}");
+        }
     }
 
     #[test]

@@ -31,8 +31,11 @@ pub struct InputVectorControl {
     pub samples: usize,
     /// RNG seed (the search is deterministic for a given seed).
     pub seed: u64,
-    /// Worker threads for the block-parallel evaluation: `0` = one per
-    /// available hardware thread, `1` = the sequential fallback.
+    /// Worker threads for the block-parallel evaluation, resolved by the
+    /// workspace-wide
+    /// [`resolve_worker_threads`](scanpower_sim::parallel::resolve_worker_threads)
+    /// policy: `0` = one per available hardware thread (`SCANPOWER_THREADS`
+    /// overrides), `1` = the sequential fallback.
     pub threads: usize,
 }
 

@@ -1,6 +1,7 @@
 use serde::{Deserialize, Serialize};
 
 use scanpower_netlist::{GateId, GateKind, Netlist};
+use scanpower_sim::scan::ShiftPhase;
 use scanpower_sim::{Logic, PackedWord};
 
 use crate::model::{self, LeakageParams, VDD};
@@ -278,6 +279,68 @@ impl LeakageAverage {
     }
 }
 
+/// Lane-aware static-power observer for the packed scan-shift replay.
+///
+/// Plugs into
+/// [`PackedScanShiftSim::run_with_observer`](scanpower_sim::PackedScanShiftSim):
+/// every [`ShiftPhase::Shift`] event is evaluated once over all active lanes
+/// with [`LeakageEstimator::circuit_leakage_lanes`] — no unpacking to scalar
+/// [`Logic`] per cycle — and the per-cycle lane rows are buffered until the
+/// block's [`ShiftPhase::Capture`] event, where they are flushed into the
+/// running [`LeakageAverage`] **lane-first** (pattern 0's cycles, then
+/// pattern 1's, …). That is exactly the order the scalar replay visits its
+/// states in, so the floating-point accumulation — and therefore the
+/// reported average static power — is bit-identical to the scalar path.
+#[derive(Debug, Clone)]
+pub struct PackedShiftLeakage<'a> {
+    netlist: &'a Netlist,
+    estimator: &'a LeakageEstimator,
+    rows: Vec<Vec<f64>>,
+    average: LeakageAverage,
+}
+
+impl<'a> PackedShiftLeakage<'a> {
+    /// Creates an empty accumulator over `estimator`'s tables.
+    #[must_use]
+    pub fn new(netlist: &'a Netlist, estimator: &'a LeakageEstimator) -> PackedShiftLeakage<'a> {
+        PackedShiftLeakage {
+            netlist,
+            estimator,
+            rows: Vec::new(),
+            average: LeakageAverage::new(),
+        }
+    }
+
+    /// Feeds one packed replay event (shift states accumulate, the capture
+    /// event flushes the block; capture states themselves are not counted,
+    /// matching the paper's shift-only static power).
+    pub fn observe(&mut self, phase: ShiftPhase, values: &[PackedWord], lanes: usize) {
+        match phase {
+            ShiftPhase::Shift => self.rows.push(self.estimator.circuit_leakage_lanes(
+                self.netlist,
+                values,
+                lanes,
+            )),
+            ShiftPhase::Capture => {
+                for lane in 0..lanes {
+                    for row in &self.rows {
+                        self.average.add(row[lane]);
+                    }
+                }
+                self.rows.clear();
+            }
+        }
+    }
+
+    /// The accumulated average (call after the replay finished; any
+    /// unflushed partial block is impossible because every block ends with
+    /// a capture event).
+    #[must_use]
+    pub fn into_average(self) -> LeakageAverage {
+        self.average
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -423,6 +486,53 @@ mod tests {
                 lanes[lane]
             );
         }
+    }
+
+    /// The packed lane-aware observer must reproduce the scalar replay's
+    /// static-power average **bit for bit**: identical lane leakages added
+    /// in the identical (pattern-major) order.
+    #[test]
+    fn packed_shift_leakage_matches_scalar_observer_bitwise() {
+        use scanpower_sim::patterns::random_bool_patterns;
+        use scanpower_sim::scan::{ScanPattern, ScanShiftSim, ShiftConfig};
+        use scanpower_sim::PackedScanShiftSim;
+
+        let n = bench::parse(bench::S27_BENCH, "s27").unwrap();
+        let library = LeakageLibrary::cmos45();
+        let estimator = LeakageEstimator::new(&n, &library);
+        let pi = n.primary_inputs().len();
+        let ff = n.dff_count();
+        // 70 patterns: one full 64-lane block plus a 6-lane tail.
+        let patterns: Vec<ScanPattern> = random_bool_patterns(pi + ff, 70, 13)
+            .into_iter()
+            .map(|bits| ScanPattern::from_bools(&bits[..pi], &bits[pi..]))
+            .collect();
+        let config = ShiftConfig::traditional(ff);
+
+        let mut scalar_average = LeakageAverage::new();
+        let scalar_stats =
+            ScanShiftSim::new(&n).run_with_observer(&n, &patterns, &config, |phase, values| {
+                if phase == ShiftPhase::Shift {
+                    scalar_average.add(estimator.circuit_leakage(&n, values));
+                }
+            });
+
+        let mut packed_average = PackedShiftLeakage::new(&n, &estimator);
+        let packed_stats = PackedScanShiftSim::new(&n).run_with_observer(
+            &n,
+            &patterns,
+            &config,
+            |phase, values, lanes| packed_average.observe(phase, values, lanes),
+        );
+        let packed_average = packed_average.into_average();
+
+        assert_eq!(packed_stats, scalar_stats);
+        assert_eq!(packed_average.samples(), scalar_average.samples());
+        assert_eq!(
+            packed_average.average_na().to_bits(),
+            scalar_average.average_na().to_bits(),
+            "packed static average must be bit-identical to the scalar path"
+        );
     }
 
     #[test]

@@ -178,6 +178,49 @@ impl PackedWord {
         }
     }
 
+    /// Bit mask selecting the first `lanes` lanes (`lanes == 64` selects
+    /// every lane). Used to restrict popcount reductions to the active
+    /// lanes of a partial final block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes > 64`.
+    #[must_use]
+    pub fn lane_mask(lanes: usize) -> u64 {
+        assert!(lanes <= 64, "a packed word holds at most 64 lanes");
+        if lanes == 0 {
+            0
+        } else {
+            u64::MAX >> (64 - lanes)
+        }
+    }
+
+    /// Bit mask of the lanes whose three-valued value differs from
+    /// `other`'s — the lane-parallel counterpart of `Logic != Logic`
+    /// (`X` only equals `X`). Popcounting this mask over consecutive
+    /// circuit states is how the packed scan replay counts transitions.
+    #[must_use]
+    pub fn differs(self, other: PackedWord) -> u64 {
+        (self.can0 ^ other.can0) | (self.can1 ^ other.can1)
+    }
+
+    /// Shifts every lane up by one position (lane `k` receives lane
+    /// `k - 1`'s value) and inserts `lane0` at lane 0. The packed scan
+    /// replay uses this to hand each pattern lane its predecessor
+    /// pattern's capture state.
+    #[must_use]
+    pub fn shifted_lanes(self, lane0: Logic) -> PackedWord {
+        let (can0, can1) = match lane0 {
+            Logic::Zero => (1, 0),
+            Logic::One => (0, 1),
+            Logic::X => (1, 1),
+        };
+        PackedWord {
+            can0: (self.can0 << 1) | can0,
+            can1: (self.can1 << 1) | can1,
+        }
+    }
+
     /// Sets the value of one lane.
     ///
     /// # Panics
@@ -586,6 +629,55 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn lane_mask_selects_prefix_lanes() {
+        assert_eq!(PackedWord::lane_mask(0), 0);
+        assert_eq!(PackedWord::lane_mask(1), 1);
+        assert_eq!(PackedWord::lane_mask(5), 0b1_1111);
+        assert_eq!(PackedWord::lane_mask(64), u64::MAX);
+    }
+
+    #[test]
+    fn differs_mirrors_scalar_inequality_per_lane() {
+        // All 9 (a, b) combinations across lanes: the difference mask must
+        // be set exactly where the scalar values are unequal (X == X).
+        let mut a = PackedWord::splat(Logic::X);
+        let mut b = PackedWord::splat(Logic::X);
+        let mut expected = 0u64;
+        for (lane, (va, vb)) in all_logic()
+            .into_iter()
+            .flat_map(|x| all_logic().into_iter().map(move |y| (x, y)))
+            .enumerate()
+        {
+            a.set_lane(lane, va);
+            b.set_lane(lane, vb);
+            if va != vb {
+                expected |= 1 << lane;
+            }
+        }
+        assert_eq!(a.differs(b) & PackedWord::lane_mask(9), expected);
+        assert_eq!(a.differs(a) & PackedWord::lane_mask(9), 0);
+    }
+
+    #[test]
+    fn shifted_lanes_moves_every_lane_up_by_one() {
+        let mut word = PackedWord::splat(Logic::X);
+        word.set_lane(0, Logic::Zero);
+        word.set_lane(1, Logic::One);
+        word.set_lane(2, Logic::X);
+        for lane0 in all_logic() {
+            let shifted = word.shifted_lanes(lane0);
+            assert_eq!(shifted.lane(0), lane0);
+            assert_eq!(shifted.lane(1), Logic::Zero);
+            assert_eq!(shifted.lane(2), Logic::One);
+            assert_eq!(shifted.lane(3), Logic::X);
+        }
+        // Lane 63 falls off the end.
+        let mut top = PackedWord::splat(Logic::Zero);
+        top.set_lane(63, Logic::One);
+        assert_eq!(top.shifted_lanes(Logic::Zero).lane(63), Logic::Zero);
     }
 
     #[test]

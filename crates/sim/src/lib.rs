@@ -18,6 +18,11 @@
 //!   shift cycles of a scan test.
 //! * [`scan`] — test-per-scan shift simulation ([`scan::ScanShiftSim`]) with
 //!   per-net transition counts and per-cycle state observation.
+//! * [`scan_packed`] — the packed 64-pattern scan-shift replay
+//!   ([`scan_packed::PackedScanShiftSim`]): one kernel pass per shift cycle
+//!   evaluates 64 patterns' circuit states at once, with popcount-based
+//!   transition counting and a lane-aware observer; bit-identical
+//!   [`scan::ShiftStats`] to the scalar replay.
 //! * [`fault`] — 64-pattern-per-pass stuck-at fault simulation used by the
 //!   ATPG substitute.
 //! * [`parallel`] — the [`BlockDriver`]: deterministic sharding of
@@ -68,9 +73,11 @@ mod logic;
 pub mod parallel;
 pub mod patterns;
 pub mod scan;
+pub mod scan_packed;
 
 pub use eval::Evaluator;
 pub use incremental::IncrementalSim;
 pub use kernel::{LogicWord, PackedWord, SimKernel};
 pub use logic::Logic;
 pub use parallel::BlockDriver;
+pub use scan_packed::PackedScanShiftSim;

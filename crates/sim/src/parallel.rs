@@ -31,6 +31,31 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 /// [`PackedWord`](crate::PackedWord).
 pub const BLOCK_LANES: usize = 64;
 
+/// Resolves a configured worker thread count to a concrete count.
+///
+/// This is the single thread-count policy of the workspace — every
+/// `threads` knob (`AtpgConfig::threads`, `InputVectorControl::threads`,
+/// `ExperimentOptions::threads`, [`BlockDriver::new`]) routes through it:
+///
+/// * `0` — automatic: one worker per available hardware thread,
+///   overridable with the `SCANPOWER_THREADS` environment variable (a
+///   positive integer; other values are ignored);
+/// * any other value is used as-is (`1` = the sequential fallback).
+#[must_use]
+pub fn resolve_worker_threads(configured: usize) -> usize {
+    if configured > 0 {
+        return configured;
+    }
+    if let Some(threads) = std::env::var("SCANPOWER_THREADS")
+        .ok()
+        .and_then(|raw| raw.trim().parse::<usize>().ok())
+        .filter(|&threads| threads > 0)
+    {
+        return threads;
+    }
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
 /// Splits independent ≤[`BLOCK_LANES`]-lane blocks across threads and
 /// merges the results deterministically (see the [module docs](self)).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -48,13 +73,12 @@ impl Default for BlockDriver {
 impl BlockDriver {
     /// Builds a driver with an explicit thread count; `0` selects the
     /// automatic count (see [`BlockDriver::auto`]), `1` the sequential
-    /// fallback.
+    /// fallback. The resolution policy is the shared
+    /// [`resolve_worker_threads`].
     #[must_use]
     pub fn new(threads: usize) -> BlockDriver {
-        if threads == 0 {
-            BlockDriver::auto()
-        } else {
-            BlockDriver { threads }
+        BlockDriver {
+            threads: resolve_worker_threads(threads),
         }
     }
 
@@ -68,18 +92,11 @@ impl BlockDriver {
 
     /// One worker per available hardware thread, overridable with the
     /// `SCANPOWER_THREADS` environment variable (a positive integer; other
-    /// values are ignored).
+    /// values are ignored) — see [`resolve_worker_threads`].
     #[must_use]
     pub fn auto() -> BlockDriver {
-        if let Some(threads) = std::env::var("SCANPOWER_THREADS")
-            .ok()
-            .and_then(|raw| raw.trim().parse::<usize>().ok())
-            .filter(|&threads| threads > 0)
-        {
-            return BlockDriver { threads };
-        }
         BlockDriver {
-            threads: std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+            threads: resolve_worker_threads(0),
         }
     }
 
@@ -286,6 +303,17 @@ mod tests {
         assert!(BlockDriver::new(0).threads() >= 1);
         assert_eq!(BlockDriver::new(5).threads(), 5);
         assert_eq!(BlockDriver::sequential().threads(), 1);
+    }
+
+    #[test]
+    fn resolve_worker_threads_is_the_shared_policy() {
+        // Explicit counts pass through untouched; `0` resolves to the same
+        // automatic count the driver uses.
+        assert_eq!(resolve_worker_threads(1), 1);
+        assert_eq!(resolve_worker_threads(7), 7);
+        assert!(resolve_worker_threads(0) >= 1);
+        assert_eq!(resolve_worker_threads(0), BlockDriver::auto().threads());
+        assert_eq!(resolve_worker_threads(0), BlockDriver::new(0).threads());
     }
 
     #[test]

@@ -409,6 +409,19 @@ mod tests {
     }
 
     #[test]
+    fn average_toggles_per_cycle_is_zero_for_empty_pattern_set() {
+        // An empty pattern set simulates zero shift cycles; the average must
+        // be a clean 0.0, not the NaN a bare division would produce.
+        let n = s27();
+        let sim = ScanShiftSim::new(&n);
+        let stats = sim.run(&n, &[], &ShiftConfig::traditional(n.dff_count()));
+        assert_eq!(stats.patterns, 0);
+        assert_eq!(stats.shift_cycles, 0);
+        assert_eq!(stats.average_toggles_per_cycle(), 0.0);
+        assert!(!stats.average_toggles_per_cycle().is_nan());
+    }
+
+    #[test]
     fn capture_toggles_only_counted_when_requested() {
         let n = s27();
         let sim = ScanShiftSim::new(&n);

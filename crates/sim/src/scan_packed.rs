@@ -1,0 +1,480 @@
+//! Packed 64-pattern scan-shift replay.
+//!
+//! The scalar [`ScanShiftSim`](crate::scan::ScanShiftSim) replays one test
+//! pattern at a time on the event-driven incremental simulator. Its packed
+//! sibling here exploits the one structural fact that makes the replay
+//! lane-parallelisable: after a full shift-in the chain holds *exactly* the
+//! pattern's scan part, so every pattern's capture state — and therefore the
+//! chain contents its successor starts shifting against — is a pure function
+//! of that one pattern. One packed pass over the
+//! [`SimKernel<PackedWord>`](crate::SimKernel) computes the capture states
+//! of a whole ≤64-pattern block; shifting each capture word up by one lane
+//! ([`PackedWord::shifted_lanes`]) then hands lane `k` the state pattern
+//! `k − 1` left behind, and the per-cycle chain ripple of all 64 patterns
+//! proceeds in lock-step: one topological pass per shift cycle evaluates 64
+//! patterns' circuit states at once.
+//!
+//! Transition counting reduces to popcounts: two consecutive per-net words
+//! are compared with [`PackedWord::differs`] (the lane-parallel `!=`,
+//! honouring `X` semantics) and the masked popcount is added to the net's
+//! toggle counter. Every counter is an integer and every lane reproduces the
+//! scalar simulator's settled values exactly, so the resulting
+//! [`ShiftStats`] are **bit-identical** to [`ScanShiftSim::run`] — the
+//! agreement is pinned by tests at both the crate and the suite level.
+//!
+//! [`ScanShiftSim::run`]: crate::scan::ScanShiftSim::run
+
+use scanpower_netlist::{NetId, Netlist};
+
+use crate::kernel::{LogicWord, PackedWord, SimKernel};
+use crate::logic::Logic;
+use crate::parallel::BLOCK_LANES;
+use crate::scan::{ScanPattern, ShiftConfig, ShiftPhase, ShiftStats};
+
+/// Packed test-per-scan shift simulator: up to 64 patterns per pass.
+///
+/// Produces [`ShiftStats`] bit-identical to the scalar
+/// [`ScanShiftSim`](crate::scan::ScanShiftSim) for any pattern count
+/// (including partial final blocks), any [`ShiftConfig`] (forced
+/// pseudo-inputs, PI control values, `count_capture`), and patterns
+/// containing [`Logic::X`].
+#[derive(Debug, Clone)]
+pub struct PackedScanShiftSim {
+    pi_nets: Vec<NetId>,
+    pseudo_nets: Vec<NetId>,
+    d_nets: Vec<NetId>,
+}
+
+impl PackedScanShiftSim {
+    /// Builds a packed simulator for `netlist`.
+    #[must_use]
+    pub fn new(netlist: &Netlist) -> PackedScanShiftSim {
+        PackedScanShiftSim {
+            pi_nets: netlist.primary_inputs().to_vec(),
+            pseudo_nets: netlist.pseudo_inputs(),
+            d_nets: netlist.pseudo_outputs(),
+        }
+    }
+
+    /// Runs the scan protocol over `patterns` and returns transition counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a pattern's widths or the configuration's widths do not
+    /// match the circuit, or if the combinational part is cyclic.
+    #[must_use]
+    pub fn run(
+        &self,
+        netlist: &Netlist,
+        patterns: &[ScanPattern],
+        config: &ShiftConfig,
+    ) -> ShiftStats {
+        self.run_with_observer(netlist, patterns, config, |_, _, _| {})
+    }
+
+    /// Runs the scan protocol, handing every visited *packed* circuit state
+    /// to `observer` without unpacking to scalar [`Logic`] per cycle.
+    ///
+    /// The observer receives the phase, one settled [`PackedWord`] per net
+    /// (indexed by [`NetId::index`]) and the number of active lanes. Lane
+    /// `k` of a word is the state of the block's pattern `k` at that cycle;
+    /// lanes at or beyond the active count are unspecified. Events arrive
+    /// cycle-major per ≤64-pattern block: `chain_len` [`ShiftPhase::Shift`]
+    /// states (all active patterns advance one shift cycle per event)
+    /// followed by exactly one [`ShiftPhase::Capture`] state, which also
+    /// marks the end of the block. Observers that must reproduce the scalar
+    /// simulator's pattern-major visit order (e.g. an order-sensitive
+    /// floating-point accumulation) can buffer the per-cycle lane values of
+    /// a block and flush them lane-first on the capture event.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a pattern's widths or the configuration's widths do not
+    /// match the circuit, or if the combinational part is cyclic.
+    pub fn run_with_observer<F>(
+        &self,
+        netlist: &Netlist,
+        patterns: &[ScanPattern],
+        config: &ShiftConfig,
+        mut observer: F,
+    ) -> ShiftStats
+    where
+        F: FnMut(ShiftPhase, &[PackedWord], usize),
+    {
+        let chain_len = self.pseudo_nets.len();
+        let pi_count = self.pi_nets.len();
+        assert_eq!(
+            config.forced_pseudo.len(),
+            chain_len,
+            "forced_pseudo must have one entry per scan cell"
+        );
+        if let Some(values) = &config.shift_pi_values {
+            assert_eq!(
+                values.len(),
+                pi_count,
+                "shift_pi_values must have one entry per primary input"
+            );
+        }
+
+        let mut kernel = SimKernel::<PackedWord>::new(netlist);
+        let width = kernel.inputs().len();
+        debug_assert_eq!(width, pi_count + chain_len);
+        let net_count = netlist.net_count();
+
+        let mut toggles = vec![0u64; net_count];
+        let mut total: u64 = 0;
+        let mut shift_cycles = 0usize;
+
+        // Lane-0 carries between blocks: the circuit state the scalar
+        // simulator would hold before the block's first pattern starts
+        // shifting, and the chain contents that pattern shifts against.
+        // Initially: the first pattern's shift conditions over an all-zero
+        // chain (the scalar simulator's initial state).
+        let mut carry_chain: Vec<Logic> = vec![Logic::Zero; chain_len];
+        let mut carry_prev: Vec<Logic> = {
+            let mut inputs = vec![PackedWord::splat(Logic::X); width];
+            let initial_pi = match (&config.shift_pi_values, patterns.first()) {
+                (Some(values), _) => values.clone(),
+                (None, Some(first)) => first.pi.clone(),
+                (None, None) => vec![Logic::Zero; pi_count],
+            };
+            for (slot, value) in inputs[..pi_count].iter_mut().zip(&initial_pi) {
+                *slot = PackedWord::splat(*value);
+            }
+            for (slot, forced) in inputs[pi_count..].iter_mut().zip(&config.forced_pseudo) {
+                *slot = PackedWord::splat(forced.unwrap_or(Logic::Zero));
+            }
+            kernel
+                .evaluate(netlist, &inputs)
+                .iter()
+                .map(|word| word.lane(0))
+                .collect()
+        };
+
+        // Per-block scratch, reused across blocks.
+        let mut prev = vec![PackedWord::splat(Logic::X); net_count];
+        let mut inputs = vec![PackedWord::splat(Logic::X); width];
+        let forced: Vec<Option<PackedWord>> = config
+            .forced_pseudo
+            .iter()
+            .map(|forced| forced.map(PackedWord::splat))
+            .collect();
+
+        for chunk in patterns.chunks(BLOCK_LANES) {
+            let lanes = chunk.len();
+            let mask = PackedWord::lane_mask(lanes);
+            for pattern in chunk {
+                assert_eq!(pattern.pi.len(), pi_count, "pattern PI width");
+                assert_eq!(pattern.scan.len(), chain_len, "pattern scan width");
+            }
+
+            // Capture pass: lane k = Evaluate(pi_k, scan_k). A full shift-in
+            // leaves the chain holding exactly the pattern's scan part, so
+            // this one pass yields every pattern's capture state — and, via
+            // the D inputs, the chain contents its successor starts from.
+            let mut capture_inputs = vec![PackedWord::splat(Logic::X); width];
+            for (lane, pattern) in chunk.iter().enumerate() {
+                for (i, &value) in pattern.pi.iter().enumerate() {
+                    capture_inputs[i].set_lane(lane, value);
+                }
+                for (cell, &value) in pattern.scan.iter().enumerate() {
+                    capture_inputs[pi_count + cell].set_lane(lane, value);
+                }
+            }
+            let capture_values = kernel.evaluate(netlist, &capture_inputs).to_vec();
+
+            // Previous-state words: lane k starts from pattern k−1's capture
+            // state; lane 0 from the carry (the previous block's last
+            // capture, or the initial state).
+            for ((slot, &capture), &carry) in prev.iter_mut().zip(&capture_values).zip(&carry_prev)
+            {
+                *slot = capture.shifted_lanes(carry);
+            }
+
+            // Chain start: lane k shifts against pattern k−1's captured
+            // response (the D-input values of its capture state).
+            let mut chain: Vec<PackedWord> = self
+                .d_nets
+                .iter()
+                .zip(&carry_chain)
+                .map(|(&d, &carry)| capture_values[d.index()].shifted_lanes(carry))
+                .collect();
+
+            // Primary inputs during shift: the control values (same for
+            // every lane) or each lane's own pattern PI part.
+            match &config.shift_pi_values {
+                Some(values) => {
+                    for (slot, &value) in inputs[..pi_count].iter_mut().zip(values) {
+                        *slot = PackedWord::splat(value);
+                    }
+                }
+                None => {
+                    for slot in inputs[..pi_count].iter_mut() {
+                        *slot = PackedWord::splat(Logic::X);
+                    }
+                    for (lane, pattern) in chunk.iter().enumerate() {
+                        for (i, &value) in pattern.pi.iter().enumerate() {
+                            inputs[i].set_lane(lane, value);
+                        }
+                    }
+                }
+            }
+
+            // Shift the patterns in, one cell per cycle, all lanes in
+            // lock-step. The bit injected at cycle `c` ends up in cell
+            // `chain_len - 1 - c`, exactly like the scalar replay.
+            for cycle in 0..chain_len {
+                let mut incoming = PackedWord::splat(Logic::X);
+                for (lane, pattern) in chunk.iter().enumerate() {
+                    incoming.set_lane(lane, pattern.scan[chain_len - 1 - cycle]);
+                }
+                for i in (1..chain_len).rev() {
+                    chain[i] = chain[i - 1];
+                }
+                chain[0] = incoming;
+
+                for ((slot, &cell), forced) in
+                    inputs[pi_count..].iter_mut().zip(&chain).zip(&forced)
+                {
+                    *slot = forced.unwrap_or(cell);
+                }
+                let values = kernel.evaluate(netlist, &inputs);
+                for ((toggle, &now), then) in toggles.iter_mut().zip(values).zip(prev.iter_mut()) {
+                    let diff = now.differs(*then) & mask;
+                    if diff != 0 {
+                        let count = u64::from(diff.count_ones());
+                        *toggle += count;
+                        total += count;
+                    }
+                    *then = now;
+                }
+                observer(ShiftPhase::Shift, values, lanes);
+            }
+            shift_cycles += lanes * chain_len;
+
+            // Capture: the pattern's PI values are applied and the muxes
+            // return to normal mode — the state computed up front.
+            if config.count_capture {
+                for (toggle, (&capture, &last)) in
+                    toggles.iter_mut().zip(capture_values.iter().zip(&*prev))
+                {
+                    let diff = capture.differs(last) & mask;
+                    if diff != 0 {
+                        let count = u64::from(diff.count_ones());
+                        *toggle += count;
+                        total += count;
+                    }
+                }
+            }
+            observer(ShiftPhase::Capture, &capture_values, lanes);
+
+            // Carries for the next block: the last pattern's capture state
+            // and captured response.
+            for (carry, &capture) in carry_prev.iter_mut().zip(&capture_values) {
+                *carry = capture.lane(lanes - 1);
+            }
+            for (carry, &d) in carry_chain.iter_mut().zip(&self.d_nets) {
+                *carry = capture_values[d.index()].lane(lanes - 1);
+            }
+        }
+
+        ShiftStats {
+            patterns: patterns.len(),
+            shift_cycles,
+            toggles,
+            total_toggles: total,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::patterns::random_bool_patterns;
+    use crate::scan::ScanShiftSim;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+    use scanpower_netlist::bench;
+
+    fn s27() -> Netlist {
+        bench::parse(bench::S27_BENCH, "s27").unwrap()
+    }
+
+    fn bool_patterns_for(netlist: &Netlist, count: usize, seed: u64) -> Vec<ScanPattern> {
+        let pi = netlist.primary_inputs().len();
+        let ff = netlist.dff_count();
+        random_bool_patterns(pi + ff, count, seed)
+            .into_iter()
+            .map(|bits| ScanPattern::from_bools(&bits[..pi], &bits[pi..]))
+            .collect()
+    }
+
+    fn ternary_patterns_for(netlist: &Netlist, count: usize, seed: u64) -> Vec<ScanPattern> {
+        let pi = netlist.primary_inputs().len();
+        let ff = netlist.dff_count();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        (0..count)
+            .map(|_| {
+                let mut draw = |width: usize| -> Vec<Logic> {
+                    (0..width)
+                        .map(|_| {
+                            if rng.gen_bool(0.25) {
+                                Logic::X
+                            } else {
+                                Logic::from_bool(rng.gen_bool(0.5))
+                            }
+                        })
+                        .collect()
+                };
+                ScanPattern {
+                    pi: draw(pi),
+                    scan: draw(ff),
+                }
+            })
+            .collect()
+    }
+
+    fn assert_agreement(netlist: &Netlist, patterns: &[ScanPattern], config: &ShiftConfig) {
+        let scalar = ScanShiftSim::new(netlist).run(netlist, patterns, config);
+        let packed = PackedScanShiftSim::new(netlist).run(netlist, patterns, config);
+        assert_eq!(packed, scalar);
+    }
+
+    #[test]
+    fn packed_matches_scalar_on_traditional_config() {
+        let n = s27();
+        // 5 patterns (single partial block) and 150 (two full blocks + a
+        // 22-lane tail, exercising the cross-block carries).
+        for count in [1, 5, 150] {
+            let patterns = bool_patterns_for(&n, count, 11);
+            assert_agreement(&n, &patterns, &ShiftConfig::traditional(n.dff_count()));
+        }
+    }
+
+    #[test]
+    fn packed_matches_scalar_with_x_patterns() {
+        let n = s27();
+        let patterns = ternary_patterns_for(&n, 130, 23);
+        assert_agreement(&n, &patterns, &ShiftConfig::traditional(n.dff_count()));
+    }
+
+    #[test]
+    fn packed_matches_scalar_with_forced_pseudo_inputs() {
+        let n = s27();
+        let patterns = bool_patterns_for(&n, 70, 3);
+        // Force a mix: cell 0 to 1, cell 2 to 0, cell 1 rippling.
+        let mut config = ShiftConfig::traditional(n.dff_count());
+        config.forced_pseudo[0] = Some(Logic::One);
+        config.forced_pseudo[2] = Some(Logic::Zero);
+        assert_agreement(&n, &patterns, &config);
+    }
+
+    #[test]
+    fn packed_matches_scalar_with_pi_control_values() {
+        let n = s27();
+        let patterns = bool_patterns_for(&n, 70, 5);
+        let pi_values: Vec<Logic> = (0..n.primary_inputs().len())
+            .map(|i| Logic::from_bool(i % 2 == 0))
+            .collect();
+        let config = ShiftConfig::with_pi_control(n.dff_count(), pi_values);
+        assert_agreement(&n, &patterns, &config);
+    }
+
+    #[test]
+    fn packed_matches_scalar_with_count_capture() {
+        let n = s27();
+        let patterns = ternary_patterns_for(&n, 90, 7);
+        for count_capture in [false, true] {
+            let mut config = ShiftConfig::traditional(n.dff_count());
+            config.count_capture = count_capture;
+            assert_agreement(&n, &patterns, &config);
+        }
+    }
+
+    #[test]
+    fn packed_handles_empty_pattern_set() {
+        let n = s27();
+        let config = ShiftConfig::traditional(n.dff_count());
+        let stats = PackedScanShiftSim::new(&n).run(&n, &[], &config);
+        assert_eq!(stats, ScanShiftSim::new(&n).run(&n, &[], &config));
+        assert_eq!(stats.patterns, 0);
+        assert_eq!(stats.shift_cycles, 0);
+        assert_eq!(stats.total_toggles, 0);
+        assert_eq!(stats.average_toggles_per_cycle(), 0.0);
+    }
+
+    #[test]
+    fn observer_lane_states_match_scalar_states() {
+        // Lane k of every packed event must be the scalar observer's state
+        // for pattern k at the same cycle, and the packed event stream must
+        // be chain_len shifts + one capture per block.
+        let n = s27();
+        let patterns = bool_patterns_for(&n, 70, 9);
+        let config = ShiftConfig::traditional(n.dff_count());
+        let chain_len = n.dff_count();
+
+        let mut scalar_states: Vec<(ShiftPhase, Vec<Logic>)> = Vec::new();
+        ScanShiftSim::new(&n).run_with_observer(&n, &patterns, &config, |phase, values| {
+            scalar_states.push((phase, values.to_vec()));
+        });
+
+        // Scalar order: per pattern, chain_len shifts then a capture.
+        let per_pattern = chain_len + 1;
+        let mut block_start_pattern = 0usize;
+        let mut cycle_in_block = 0usize;
+        let mut captures = 0usize;
+        let netlist = &n;
+        PackedScanShiftSim::new(netlist).run_with_observer(
+            netlist,
+            &patterns,
+            &config,
+            |phase, values, lanes| {
+                for lane in 0..lanes {
+                    let pattern = block_start_pattern + lane;
+                    let index = pattern * per_pattern
+                        + match phase {
+                            ShiftPhase::Shift => cycle_in_block,
+                            ShiftPhase::Capture => chain_len,
+                        };
+                    let (scalar_phase, scalar_values) = &scalar_states[index];
+                    assert_eq!(phase, *scalar_phase);
+                    for net in netlist.net_ids() {
+                        assert_eq!(
+                            values[net.index()].lane(lane),
+                            scalar_values[net.index()],
+                            "pattern {pattern} net {}",
+                            netlist.net(net).name
+                        );
+                    }
+                }
+                match phase {
+                    ShiftPhase::Shift => cycle_in_block += 1,
+                    ShiftPhase::Capture => {
+                        captures += 1;
+                        block_start_pattern += lanes;
+                        cycle_in_block = 0;
+                    }
+                }
+            },
+        );
+        assert_eq!(
+            captures,
+            patterns.len().div_ceil(64),
+            "one capture per block"
+        );
+    }
+
+    #[test]
+    fn packed_matches_scalar_on_a_generated_circuit() {
+        use scanpower_netlist::generator::CircuitFamily;
+        let circuit = CircuitFamily::iscas89_like("s344")
+            .unwrap()
+            .scaled(0.4)
+            .generate(2);
+        let patterns = ternary_patterns_for(&circuit, 80, 31);
+        let mut config = ShiftConfig::traditional(circuit.dff_count());
+        config.forced_pseudo[1] = Some(Logic::Zero);
+        config.count_capture = true;
+        assert_agreement(&circuit, &patterns, &config);
+    }
+}

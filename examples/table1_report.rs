@@ -4,6 +4,10 @@
 //!
 //! Run with `cargo run --release --example table1_report`.
 //!
+//! The circuits are sharded across worker threads (one `BlockDriver` job
+//! per circuit) and replayed on the packed 64-pattern scan-shift simulator;
+//! the report is bit-identical for any thread count.
+//!
 //! Environment knobs:
 //!
 //! * `SCANPOWER_CIRCUITS` — comma-separated circuit names (default: all 12);
@@ -11,10 +15,13 @@
 //!   `0.25` for a quick smoke run (default: 1.0);
 //! * `SCANPOWER_PATTERNS` — cap on the number of scan test patterns
 //!   (default: 32);
-//! * `SCANPOWER_SEED`     — synthetic-netlist seed (default: 1).
+//! * `SCANPOWER_SEED`     — synthetic-netlist seed (default: 1);
+//! * `SCANPOWER_THREADS`  — worker threads for the multi-circuit sharding
+//!   (default: one per hardware thread).
 
-use scanpower_suite::core::experiment::{CircuitExperiment, ExperimentOptions, Table1Report};
+use scanpower_suite::core::experiment::{run_table1, ExperimentOptions};
 use scanpower_suite::netlist::generator::{CircuitFamily, TABLE1_CIRCUITS};
+use scanpower_suite::sim::BlockDriver;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let circuits: Vec<String> = std::env::var("SCANPOWER_CIRCUITS")
@@ -42,19 +49,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     options.max_patterns = Some(max_patterns);
 
     eprintln!(
-        "running Table I reproduction: {} circuits, scale {scale}, {max_patterns} patterns, seed {seed}",
-        specs.len()
+        "running Table I reproduction: {} circuits, scale {scale}, {max_patterns} patterns, \
+         seed {seed}, {} worker thread(s), packed scan replay",
+        specs.len(),
+        BlockDriver::new(options.threads).threads()
     );
-    let experiment = CircuitExperiment::new(options);
-    let mut rows = Vec::new();
-    for spec in &specs {
-        let spec = if (scale - 1.0).abs() < f64::EPSILON {
-            spec.clone()
-        } else {
-            spec.scaled(scale)
-        };
-        let circuit = spec.generate(seed);
-        let row = experiment.run(&circuit);
+    let scale = if (scale - 1.0).abs() < f64::EPSILON {
+        None
+    } else {
+        Some(scale)
+    };
+    let report = run_table1(&specs, &options, scale, seed);
+    for row in &report.rows {
         eprintln!(
             "{:<8} dyn(/f): {:.3e} -> {:.3e} uW/Hz ({:+.1}%)   static: {:.2} -> {:.2} uW ({:+.1}%)",
             row.circuit,
@@ -65,9 +71,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             row.proposed.static_uw,
             -row.static_improvement_vs_traditional(),
         );
-        rows.push(row);
     }
-    let report = Table1Report { rows };
     println!("{}", report.to_table_string());
     println!(
         "average improvement vs traditional scan: dynamic {:.1}%, static {:.1}%",

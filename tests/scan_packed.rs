@@ -1,0 +1,201 @@
+//! Suite-level agreement of the packed 64-pattern scan-shift replay and the
+//! multi-circuit Table I sharding with the scalar sequential path.
+//!
+//! The acceptance bar of the packed replay is **bit-identity**: every
+//! `ShiftStats` counter is an integer and the static-power average is
+//! accumulated in the exact scalar order, so the tests assert plain
+//! equality — on real ATPG pattern sets, on ternary (X-carrying) pattern
+//! sets with partial final blocks, under forced pseudo-inputs, PI control
+//! values and `count_capture`, and for the whole `run_table1` report across
+//! thread counts {1, 2, 3, 8, auto}.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use scanpower_suite::atpg::{AtpgConfig, AtpgFlow};
+use scanpower_suite::core::baseline::{traditional_shift_config, InputControlBaseline};
+use scanpower_suite::core::experiment::{run_table1, CircuitExperiment, ExperimentOptions};
+use scanpower_suite::core::ProposedMethod;
+use scanpower_suite::netlist::generator::CircuitFamily;
+use scanpower_suite::netlist::Netlist;
+use scanpower_suite::sim::scan::{ScanPattern, ScanShiftSim, ShiftConfig};
+use scanpower_suite::sim::{Logic, PackedScanShiftSim};
+
+fn generated_circuit() -> Netlist {
+    CircuitFamily::iscas89_like("s344")
+        .unwrap()
+        .scaled(0.5)
+        .generate(5)
+}
+
+fn ternary_patterns(netlist: &Netlist, count: usize, seed: u64) -> Vec<ScanPattern> {
+    let pi = netlist.primary_inputs().len();
+    let ff = netlist.dff_count();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| {
+            let mut draw = |width: usize| -> Vec<Logic> {
+                (0..width)
+                    .map(|_| {
+                        if rng.gen_bool(0.2) {
+                            Logic::X
+                        } else {
+                            Logic::from_bool(rng.gen_bool(0.5))
+                        }
+                    })
+                    .collect()
+            };
+            ScanPattern {
+                pi: draw(pi),
+                scan: draw(ff),
+            }
+        })
+        .collect()
+}
+
+fn assert_replay_agreement(netlist: &Netlist, patterns: &[ScanPattern], config: &ShiftConfig) {
+    let scalar = ScanShiftSim::new(netlist).run(netlist, patterns, config);
+    let packed = PackedScanShiftSim::new(netlist).run(netlist, patterns, config);
+    assert_eq!(packed, scalar);
+}
+
+/// Real ATPG patterns through all three Table I structures: the packed
+/// replay reproduces the scalar `ShiftStats` exactly, adapted proposed
+/// structure included.
+#[test]
+fn packed_replay_matches_scalar_on_all_three_structures() {
+    let circuit = generated_circuit();
+    let test_set = AtpgFlow::new(AtpgConfig::fast()).run(&circuit);
+    let mut patterns = test_set.to_scan_patterns(&circuit);
+    patterns.truncate(70); // full 64-lane block + partial tail when possible
+    assert!(!patterns.is_empty());
+
+    // Traditional scan.
+    assert_replay_agreement(&circuit, &patterns, &traditional_shift_config(&circuit));
+
+    // Input control [8].
+    let baseline = InputControlBaseline::new();
+    let plan = baseline.plan(&circuit);
+    assert_replay_agreement(&circuit, &patterns, &baseline.shift_config(&circuit, &plan));
+
+    // Proposed structure (modified netlist, forced pseudo-inputs, PI
+    // control values).
+    let proposed = ProposedMethod::default().apply(&circuit).unwrap();
+    let adapted = proposed.structure.adapt_patterns(&patterns);
+    let config = proposed.structure.shift_config(&proposed.scan_mode_pi);
+    assert_replay_agreement(proposed.structure.netlist(), &adapted, &config);
+}
+
+/// Ternary patterns (X rippling through the chain), partial final block,
+/// forced pseudo-inputs, PI control values and `count_capture` on/off.
+#[test]
+fn packed_replay_matches_scalar_with_x_and_every_config_knob() {
+    let circuit = generated_circuit();
+    let ff = circuit.dff_count();
+    let pi = circuit.primary_inputs().len();
+    let patterns = ternary_patterns(&circuit, 130, 0xacc);
+    assert_eq!(patterns.len() % 64, 2, "partial final block");
+
+    for count_capture in [false, true] {
+        // Traditional, with and without capture counting.
+        let mut config = ShiftConfig::traditional(ff);
+        config.count_capture = count_capture;
+        assert_replay_agreement(&circuit, &patterns, &config);
+
+        // PI control values plus a mix of forced pseudo-inputs.
+        let mut config = ShiftConfig::with_pi_control(
+            ff,
+            (0..pi).map(|i| Logic::from_bool(i % 3 == 0)).collect(),
+        );
+        for (cell, forced) in config.forced_pseudo.iter_mut().enumerate() {
+            *forced = match cell % 3 {
+                0 => Some(Logic::Zero),
+                1 => Some(Logic::One),
+                _ => None,
+            };
+        }
+        config.count_capture = count_capture;
+        assert_replay_agreement(&circuit, &patterns, &config);
+    }
+}
+
+/// The packed experiment path (replay + lane-aware leakage observer) and
+/// the scalar path produce bit-identical `SchemePower` and `ShiftStats`.
+#[test]
+fn experiment_scheme_evaluation_is_bit_identical_between_replays() {
+    let circuit = generated_circuit();
+    let patterns = ternary_patterns(&circuit, 66, 0x5eed);
+    let packed = CircuitExperiment::new(ExperimentOptions {
+        packed_replay: true,
+        ..ExperimentOptions::fast()
+    });
+    let scalar = CircuitExperiment::new(ExperimentOptions {
+        packed_replay: false,
+        ..ExperimentOptions::fast()
+    });
+    let config = traditional_shift_config(&circuit);
+    let (packed_power, packed_stats) = packed.evaluate_scheme_stats(&circuit, &patterns, &config);
+    let (scalar_power, scalar_stats) = scalar.evaluate_scheme_stats(&circuit, &patterns, &config);
+    assert_eq!(packed_stats, scalar_stats);
+    assert_eq!(packed_power, scalar_power);
+    assert_eq!(
+        packed_power.static_uw.to_bits(),
+        scalar_power.static_uw.to_bits(),
+        "static average must match bit for bit"
+    );
+}
+
+/// The full multi-circuit harness: one circuit per driver job, merged in
+/// circuit order — bit-identical for thread counts {1, 2, 3, 8, auto}, and
+/// identical between the packed and the scalar replay.
+#[test]
+fn run_table1_is_bit_identical_across_thread_counts_and_replays() {
+    let specs = vec![
+        CircuitFamily::iscas89_like("s344").unwrap(),
+        CircuitFamily::iscas89_like("s382").unwrap(),
+        CircuitFamily::iscas89_like("s444").unwrap(),
+        CircuitFamily::iscas89_like("s510").unwrap(),
+    ];
+    let reference = run_table1(
+        &specs,
+        &ExperimentOptions {
+            threads: 1,
+            ..ExperimentOptions::fast()
+        },
+        Some(0.3),
+        2,
+    );
+    assert_eq!(reference.rows.len(), specs.len());
+    for (row, spec) in reference.rows.iter().zip(&specs) {
+        assert_eq!(row.circuit, spec.name(), "rows merged in circuit order");
+    }
+
+    // Thread counts, packed replay.
+    for threads in [2, 3, 8, 0] {
+        let parallel = run_table1(
+            &specs,
+            &ExperimentOptions {
+                threads,
+                ..ExperimentOptions::fast()
+            },
+            Some(0.3),
+            2,
+        );
+        assert_eq!(parallel, reference, "threads {threads}");
+    }
+
+    // Scalar replay, sequential and sharded.
+    for threads in [1, 3] {
+        let scalar = run_table1(
+            &specs,
+            &ExperimentOptions {
+                threads,
+                packed_replay: false,
+                ..ExperimentOptions::fast()
+            },
+            Some(0.3),
+            2,
+        );
+        assert_eq!(scalar, reference, "scalar replay, threads {threads}");
+    }
+}

@@ -1,20 +1,26 @@
 //! Scan-shift replay bench: the scalar event-driven `ScanShiftSim` vs the
 //! packed 64-pattern `PackedScanShiftSim` on the raw replay (transition
-//! counting only) and with the static-power observer attached, plus the
-//! multi-circuit Table I harness at 1 worker thread vs the automatic count.
-//! Both comparisons are bit-identical by construction — asserted once
-//! before timing — so the bench measures speed only. A snapshot of the
-//! measured means lives in `BENCH_scan_shift.json` at the repository root.
+//! counting only) and with the static-power observer attached (lane-parallel
+//! ternary-table lookup and the scalar-lookup cross-check), the
+//! leakage-lookup seam in isolation (scalar vs lane-parallel, ± X density),
+//! plus the multi-circuit Table I harness at 1 worker thread vs the
+//! automatic count. All comparisons are bit-identical by construction —
+//! asserted once before timing — so the bench measures speed only. A
+//! snapshot of the measured means lives in `BENCH_scan_shift.json` at the
+//! repository root.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
 use scanpower_bench::{bench_circuit, bench_options};
 use scanpower_core::experiment::{run_table1, ExperimentOptions};
 use scanpower_netlist::generator::CircuitFamily;
-use scanpower_power::{LeakageAverage, LeakageEstimator, LeakageLibrary, PackedShiftLeakage};
+use scanpower_power::{
+    LeakageAverage, LeakageEstimator, LeakageLibrary, LeakageLookup, PackedShiftLeakage,
+};
+use scanpower_sim::kernel::pack_logic_patterns;
 use scanpower_sim::patterns::random_bool_patterns;
 use scanpower_sim::scan::{ScanPattern, ScanShiftSim, ShiftConfig, ShiftPhase};
-use scanpower_sim::{BlockDriver, PackedScanShiftSim};
+use scanpower_sim::{BlockDriver, Logic, PackedScanShiftSim, PackedWord, SimKernel};
 
 fn replay_patterns(
     circuit: &scanpower_netlist::Netlist,
@@ -51,8 +57,12 @@ fn scan_shift(c: &mut Criterion) {
     });
 
     // With the leakage observer attached (the Table I configuration).
+    // `estimator` gathers from the precomputed ternary tables (the
+    // default); `scalar_lookup` re-runs the per-gate-per-lane subset
+    // enumeration — the pre-precompute observer path, kept measurable.
     let library = LeakageLibrary::cmos45();
     let estimator = LeakageEstimator::new(&circuit, &library);
+    let scalar_lookup = LeakageEstimator::with_lookup(&circuit, &library, LeakageLookup::Scalar);
     group.bench_function("replay_128_scalar_with_leakage", |b| {
         b.iter(|| {
             let mut average = LeakageAverage::new();
@@ -81,6 +91,76 @@ fn scan_shift(c: &mut Criterion) {
             (stats, observer.into_average())
         });
     });
+    group.bench_function("replay_128_packed_with_leakage_scalar_lookup", |b| {
+        b.iter(|| {
+            let mut observer = PackedShiftLeakage::new(&circuit, &scalar_lookup);
+            let stats = packed.run_with_observer(
+                black_box(&circuit),
+                &patterns,
+                &config,
+                |phase, values, lanes| observer.observe(phase, values, lanes),
+            );
+            (stats, observer.into_average())
+        });
+    });
+    group.finish();
+
+    // The leakage-lookup seam in isolation: one 64-lane circuit_leakage_lanes
+    // sweep per iteration, scalar subset-enumeration lookup vs the
+    // lane-parallel ternary-table gather, without X and at 20% X density
+    // (X completions are what the scalar lookup re-enumerates per lane).
+    let mut kernel = SimKernel::<PackedWord>::new(&circuit);
+    let width = kernel.inputs().len();
+    let mut group = c.benchmark_group("leakage_lookup");
+    group.sample_size(10);
+    for (label, x_density) in [("no_x", 0.0f64), ("x20", 0.2)] {
+        let patterns: Vec<Vec<Logic>> = random_bool_patterns(width, 64, 11)
+            .iter()
+            .enumerate()
+            .map(|(p, bits)| {
+                bits.iter()
+                    .enumerate()
+                    .map(|(i, &bit)| {
+                        // Deterministic sprinkle at the requested density.
+                        if x_density > 0.0
+                            && (p * width + i).is_multiple_of((1.0 / x_density) as usize)
+                        {
+                            Logic::X
+                        } else {
+                            Logic::from_bool(bit)
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        let values = kernel
+            .evaluate(&circuit, &pack_logic_patterns(&patterns))
+            .to_vec();
+        let fast = estimator.circuit_leakage_lanes(&circuit, &values, 64);
+        let slow = scalar_lookup.circuit_leakage_lanes(&circuit, &values, 64);
+        assert!(
+            fast.iter()
+                .zip(&slow)
+                .all(|(a, b)| a.to_bits() == b.to_bits()),
+            "both lookups must be bit-identical"
+        );
+        let mut totals = Vec::new();
+        group.bench_function(format!("lanes_64_scalar_lookup_{label}"), |b| {
+            b.iter(|| {
+                scalar_lookup.circuit_leakage_lanes_into(
+                    black_box(&circuit),
+                    &values,
+                    64,
+                    &mut totals,
+                );
+            });
+        });
+        group.bench_function(format!("lanes_64_lane_parallel_{label}"), |b| {
+            b.iter(|| {
+                estimator.circuit_leakage_lanes_into(black_box(&circuit), &values, 64, &mut totals);
+            });
+        });
+    }
     group.finish();
 
     // Multi-circuit Table I sharding: 1 thread vs automatic.

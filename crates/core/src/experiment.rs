@@ -13,7 +13,8 @@ use scanpower_atpg::{AtpgConfig, AtpgFlow};
 use scanpower_netlist::generator::CircuitFamily;
 use scanpower_netlist::Netlist;
 use scanpower_power::{
-    DynamicPower, LeakageAverage, LeakageEstimator, LeakageLibrary, PackedShiftLeakage,
+    DynamicPower, LeakageAverage, LeakageEstimator, LeakageLibrary, LeakageLookup,
+    PackedShiftLeakage,
 };
 use scanpower_sim::scan::{ScanPattern, ScanShiftSim, ShiftConfig, ShiftPhase, ShiftStats};
 use scanpower_sim::{BlockDriver, PackedScanShiftSim};
@@ -125,6 +126,14 @@ pub struct ExperimentOptions {
     /// cross-checking.
     #[serde(default = "default_packed_replay")]
     pub packed_replay: bool,
+    /// Build the static-power estimator with [`LeakageLookup::Scalar`]:
+    /// the packed observer then re-runs the scalar subset-enumeration
+    /// lookup per gate × lane instead of gathering from the precomputed
+    /// ternary tables. Both lookups are bit-identical by construction —
+    /// this flag exists purely so the cross-check configuration stays
+    /// exercised (CI runs the suite with it once per matrix entry).
+    #[serde(default)]
+    pub scalar_leakage_lookup: bool,
 }
 
 fn default_packed_replay() -> bool {
@@ -139,6 +148,7 @@ impl Default for ExperimentOptions {
             proposed: ProposedOptions::default(),
             threads: 0,
             packed_replay: default_packed_replay(),
+            scalar_leakage_lookup: false,
         }
     }
 }
@@ -205,7 +215,10 @@ impl CircuitExperiment {
     /// stats *and* power numbers — the packed path buffers each block's
     /// per-cycle lane leakages and accumulates them in the scalar pattern-
     /// major order ([`PackedShiftLeakage`]), so even the floating-point
-    /// static average matches bit for bit.
+    /// static average matches bit for bit. The observer's per-gate table
+    /// lookup is lane-parallel by default;
+    /// [`ExperimentOptions::scalar_leakage_lookup`] switches it to the
+    /// (equally bit-identical) scalar enumeration for cross-checks.
     #[must_use]
     pub fn evaluate_scheme_stats(
         &self,
@@ -213,7 +226,14 @@ impl CircuitExperiment {
         patterns: &[ScanPattern],
         config: &ShiftConfig,
     ) -> (SchemePower, ShiftStats) {
-        let estimator = LeakageEstimator::new(netlist, &self.library);
+        // The scalar replay only ever calls `circuit_leakage`, which never
+        // touches the ternary tables — skip the precompute there too.
+        let lookup = if self.options.scalar_leakage_lookup || !self.options.packed_replay {
+            LeakageLookup::Scalar
+        } else {
+            LeakageLookup::LaneParallel
+        };
+        let estimator = LeakageEstimator::with_lookup(netlist, &self.library, lookup);
         let (stats, leakage) = if self.options.packed_replay {
             let sim = PackedScanShiftSim::new(netlist);
             let mut leakage = PackedShiftLeakage::new(netlist, &estimator);
@@ -492,6 +512,23 @@ mod tests {
         });
         assert!(packed.options().packed_replay);
         assert_eq!(packed.run(&n), scalar.run(&n));
+    }
+
+    /// The scalar-lookup cross-check configuration must reproduce the
+    /// default lane-parallel rows bit for bit, under either replay.
+    #[test]
+    fn scalar_leakage_lookup_produces_identical_rows() {
+        let n = bench::parse(bench::S27_BENCH, "s27").unwrap();
+        let reference = CircuitExperiment::new(ExperimentOptions::fast()).run(&n);
+        for packed_replay in [true, false] {
+            let cross_check = CircuitExperiment::new(ExperimentOptions {
+                packed_replay,
+                scalar_leakage_lookup: true,
+                ..ExperimentOptions::fast()
+            })
+            .run(&n);
+            assert_eq!(cross_check, reference, "packed_replay {packed_replay}");
+        }
     }
 
     /// Per-scheme `ShiftStats` from the packed replay equal the scalar

@@ -20,7 +20,10 @@ use crate::leakage::LeakageEstimator;
 /// The Monte-Carlo sampling runs on the 64-wide packed simulation kernel:
 /// candidate vectors are evaluated in blocks of up to 64 per topological
 /// pass ([`IvcResult::sim_passes`] counts the passes), so the search costs
-/// ~64× fewer circuit evaluations than a scalar loop. The blocks are
+/// ~64× fewer circuit evaluations than a scalar loop — and the per-block
+/// leakage read-out rides the estimator's lane-parallel ternary-table
+/// gather ([`LeakageEstimator::circuit_leakage_lanes`]), not a per-lane
+/// scalar lookup. The blocks are
 /// independent, so they are additionally sharded across threads by the
 /// [`BlockDriver`] (one kernel clone per worker); the winning vector and
 /// its leakage are bit-identical whatever the thread count, because block

@@ -1,8 +1,9 @@
 use serde::{Deserialize, Serialize};
 
 use scanpower_netlist::{GateId, GateKind, Netlist};
+use scanpower_sim::kernel;
 use scanpower_sim::scan::ShiftPhase;
-use scanpower_sim::{Logic, PackedWord};
+use scanpower_sim::{Logic, LogicWord, PackedWord};
 
 use crate::model::{self, LeakageParams, VDD};
 
@@ -60,8 +61,9 @@ impl LeakageLibrary {
     ///
     /// # Panics
     ///
-    /// Panics if `fanin >= 32` (the `2^fanin` state count would silently
-    /// wrap in release builds).
+    /// Panics if `fanin >= 32` — leakage tables support at most 31 input
+    /// pins (the `2^fanin` state count would silently wrap in release
+    /// builds); table lookups enforce the same cap.
     #[must_use]
     pub fn gate_table(&self, kind: GateKind, fanin: usize) -> Vec<f64> {
         assert!(fanin < 32, "leakage tables support at most 31 input pins");
@@ -74,8 +76,9 @@ impl LeakageLibrary {
     ///
     /// # Panics
     ///
-    /// Panics if `fanin >= 32` (the `2^fanin` state count would silently
-    /// wrap in release builds).
+    /// Panics if `fanin >= 32` — leakage tables support at most 31 input
+    /// pins (the `2^fanin` state count would silently wrap in release
+    /// builds); table lookups enforce the same cap.
     #[must_use]
     pub fn best_state(&self, kind: GateKind, fanin: usize) -> u32 {
         assert!(fanin < 32, "leakage tables support at most 31 input pins");
@@ -95,31 +98,112 @@ impl LeakageLibrary {
     }
 }
 
+/// Which per-gate lookup the packed 64-lane leakage paths use.
+///
+/// Both modes are **bit-identical** — the lane-parallel tables are filled
+/// by the scalar lookup itself — so the scalar mode exists purely as a
+/// cross-check against the precompute (and as the measuring stick in the
+/// `scan_shift` leakage-lookup bench).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LeakageLookup {
+    /// Precompute per-gate ternary tables at build time and look every
+    /// lane's state up with one bit-plane gather per gate (the default).
+    #[default]
+    LaneParallel,
+    /// Re-run the scalar `averaged_table_lookup` subset enumeration for
+    /// every gate × lane (the pre-precompute behaviour).
+    Scalar,
+}
+
 /// Circuit-level leakage estimator with per-gate cached tables.
 ///
 /// The estimator is built once per netlist (the tables depend only on gate
 /// kinds and fanins) and can then evaluate the total leakage of any circuit
 /// state cheaply — including partially-specified states, where unknown
 /// inputs are averaged over.
+///
+/// For the packed 64-lane paths ([`circuit_leakage_lanes`]) the estimator
+/// additionally precomputes **ternary tables**: one entry per 2-bit-per-pin
+/// encoded input state (`00` = 0, `01` = 1, high bit set = X), holding the
+/// already-X-averaged leakage. Every entry is filled by the scalar
+/// [`averaged_table_lookup`] itself, so the fast path is bit-identical to
+/// the scalar one by construction. Gates wider than
+/// [`LeakageEstimator::TERNARY_FANIN_LIMIT`] pins (whose `4^fanin` table
+/// would be too large) fall back to the scalar lookup per lane, as does the
+/// whole estimator when built with [`LeakageLookup::Scalar`]. The ternary
+/// tables are deduplicated by `(kind, fanin)`, so a netlist full of NAND2s
+/// builds exactly one 16-entry table.
+///
+/// [`circuit_leakage_lanes`]: LeakageEstimator::circuit_leakage_lanes
 #[derive(Debug, Clone)]
 pub struct LeakageEstimator {
     tables: Vec<Vec<f64>>,
+    /// Per gate: index into `ternary_tables`, or `None` when the gate falls
+    /// back to the scalar lookup (fanin above the cap, or scalar mode).
+    ternary: Vec<Option<usize>>,
+    /// Precomputed ternary tables, deduplicated by `(kind, fanin)`.
+    ternary_tables: Vec<Vec<f64>>,
+    lookup: LeakageLookup,
     library: LeakageLibrary,
 }
 
 impl LeakageEstimator {
-    /// Builds the estimator for `netlist` using `library`.
+    /// Widest gate (input pins) that gets a precomputed ternary table; a
+    /// table holds `4^fanin` entries, so the cap bounds each table at 8 MiB.
+    /// Wider gates use the scalar subset enumeration per lane.
+    pub const TERNARY_FANIN_LIMIT: usize = 10;
+
+    /// Builds the estimator for `netlist` using `library`, with the
+    /// lane-parallel lookup tables precomputed.
     #[must_use]
     pub fn new(netlist: &Netlist, library: &LeakageLibrary) -> LeakageEstimator {
-        let tables = netlist
+        LeakageEstimator::with_lookup(netlist, library, LeakageLookup::LaneParallel)
+    }
+
+    /// Builds the estimator with an explicit packed-path lookup mode
+    /// ([`LeakageLookup::Scalar`] skips the ternary precompute entirely —
+    /// the cross-check configuration).
+    #[must_use]
+    pub fn with_lookup(
+        netlist: &Netlist,
+        library: &LeakageLibrary,
+        lookup: LeakageLookup,
+    ) -> LeakageEstimator {
+        let tables: Vec<Vec<f64>> = netlist
             .gates()
             .iter()
             .map(|gate| library.gate_table(gate.kind, gate.fanin()))
             .collect();
+        let mut ternary = vec![None; tables.len()];
+        let mut ternary_tables = Vec::new();
+        if lookup == LeakageLookup::LaneParallel {
+            let mut shared: std::collections::HashMap<(GateKind, usize), usize> =
+                std::collections::HashMap::new();
+            for (index, gate) in netlist.gates().iter().enumerate() {
+                let fanin = gate.fanin();
+                if fanin > LeakageEstimator::TERNARY_FANIN_LIMIT {
+                    continue;
+                }
+                let slot = *shared.entry((gate.kind, fanin)).or_insert_with(|| {
+                    ternary_tables.push(build_ternary_table(&tables[index], fanin));
+                    ternary_tables.len() - 1
+                });
+                ternary[index] = Some(slot);
+            }
+        }
         LeakageEstimator {
             tables,
+            ternary,
+            ternary_tables,
+            lookup,
             library: library.clone(),
         }
+    }
+
+    /// The packed-path lookup mode the estimator was built with.
+    #[must_use]
+    pub fn lookup(&self) -> LeakageLookup {
+        self.lookup
     }
 
     /// The library the estimator was built from.
@@ -144,7 +228,7 @@ impl LeakageEstimator {
     ///
     /// One topological simulation pass feeds up to 64 leakage evaluations —
     /// this is the 64-wide path behind the Monte-Carlo minimum-leakage
-    /// vector search.
+    /// vector search and the packed scan-shift static-power observer.
     ///
     /// # Panics
     ///
@@ -156,22 +240,66 @@ impl LeakageEstimator {
         values: &[PackedWord],
         lanes: usize,
     ) -> Vec<f64> {
+        let mut totals = Vec::with_capacity(lanes);
+        self.circuit_leakage_lanes_into(netlist, values, lanes, &mut totals);
+        totals
+    }
+
+    /// Allocation-free variant of
+    /// [`circuit_leakage_lanes`](LeakageEstimator::circuit_leakage_lanes):
+    /// `totals` is cleared and resized to `lanes` (reusing its capacity),
+    /// then filled with the per-lane leakage.
+    ///
+    /// For every gate with a precomputed ternary table the per-lane state
+    /// indices are assembled by one bit-plane gather
+    /// ([`lane_state_indices`](scanpower_sim::kernel::lane_state_indices))
+    /// and the averaged leakage is read with one table load per lane —
+    /// no per-lane pin decoding, no X-completion enumeration. Gates without
+    /// a table (fanin above [`LeakageEstimator::TERNARY_FANIN_LIMIT`], or a
+    /// [`LeakageLookup::Scalar`] estimator) run the scalar subset
+    /// enumeration per lane; both produce bit-identical sums because the
+    /// tables were filled by that very enumeration and the per-lane
+    /// accumulation order (gate by gate, in netlist order) is the same.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes > 64`.
+    pub fn circuit_leakage_lanes_into(
+        &self,
+        netlist: &Netlist,
+        values: &[PackedWord],
+        lanes: usize,
+        totals: &mut Vec<f64>,
+    ) {
         assert!(lanes <= 64, "a packed word holds at most 64 lanes");
-        let mut totals = vec![0.0f64; lanes];
+        totals.clear();
+        totals.resize(lanes, 0.0);
+        let mut indices = [0u32; 64];
         // The gate, its table and its input words are loop-invariant over
-        // the lanes: resolve them once per gate, not once per lane.
-        let mut pin_words: Vec<PackedWord> = Vec::new();
+        // the lanes: resolve them once per gate, not once per lane. 31 pins
+        // is the workspace-wide table cap, so the gather buffer lives on
+        // the stack.
+        let mut pin_words = [PackedWord::splat(Logic::X); 31];
         for gate_id in netlist.gate_ids() {
             let gate = netlist.gate(gate_id);
-            let table = &self.tables[gate_id.index()];
-            pin_words.clear();
-            pin_words.extend(gate.inputs.iter().map(|&input| values[input.index()]));
-            for (lane, total) in totals.iter_mut().enumerate() {
-                *total +=
-                    averaged_table_lookup(table, pin_words.iter().map(|word| word.lane(lane)));
+            let fanin = gate.inputs.len();
+            for (word, &input) in pin_words.iter_mut().zip(&gate.inputs) {
+                *word = values[input.index()];
+            }
+            let pins = &pin_words[..fanin];
+            if let Some(slot) = self.ternary[gate_id.index()] {
+                let table = &self.ternary_tables[slot];
+                kernel::lane_state_indices(pins, lanes, &mut indices);
+                for (total, &index) in totals.iter_mut().zip(&indices) {
+                    *total += table[index as usize];
+                }
+            } else {
+                let table = &self.tables[gate_id.index()];
+                for (lane, total) in totals.iter_mut().enumerate() {
+                    *total += averaged_table_lookup(table, pins.iter().map(|word| word.lane(lane)));
+                }
             }
         }
-        totals
     }
 
     /// Total leakage current (nA) of the combinational part of the circuit
@@ -194,6 +322,46 @@ impl LeakageEstimator {
     }
 }
 
+/// Expands a binary per-state table (`2^fanin` entries) into the ternary
+/// table the lane-parallel lookup gathers from: `4^fanin` entries, indexed
+/// by the 2-bit-per-pin state codes of
+/// [`lane_state_indices`](scanpower_sim::kernel::lane_state_indices)
+/// (`00` = 0, `01` = 1, high bit set = X — both `10` and `11` decode as X,
+/// matching the `1x` convention). Every canonical entry is computed by
+/// [`averaged_table_lookup`] over the decoded pins (redundant `10` codes
+/// bit-copy their all-`11` sibling), which is what makes the gather path
+/// bit-identical to the scalar path: the float the fast path loads *is*
+/// the float the slow path would have produced.
+fn build_ternary_table(table: &[f64], fanin: usize) -> Vec<f64> {
+    debug_assert_eq!(table.len(), 1usize << fanin);
+    let size = 1usize << (2 * fanin);
+    // Mask of every pin's low code bit (bit 2p).
+    let mut low_bits = 0usize;
+    for pin in 0..fanin {
+        low_bits |= 1 << (2 * pin);
+    }
+    let mut ternary = vec![0.0f64; size];
+    // Descending, so that a code with `10` pins can bit-copy its canonical
+    // all-`11` sibling (a strictly larger code, already filled) instead of
+    // re-enumerating the same X completions.
+    for code in (0..size).rev() {
+        let ten_pins = (code >> 1) & !code & low_bits;
+        if ten_pins != 0 {
+            ternary[code] = ternary[code | ten_pins];
+            continue;
+        }
+        ternary[code] = averaged_table_lookup(
+            table,
+            (0..fanin).map(|pin| match (code >> (2 * pin)) & 0b11 {
+                0b00 => Logic::Zero,
+                0b01 => Logic::One,
+                _ => Logic::X,
+            }),
+        );
+    }
+    ternary
+}
+
 /// Looks up `table` at the state formed by the pin values, averaging over
 /// every completion of the unknown pins.
 ///
@@ -205,15 +373,17 @@ impl LeakageEstimator {
 ///
 /// # Panics
 ///
-/// Panics if more than 32 pins are passed — one pin past that, the `1 <<
-/// pin` state masks (and the `2^unknowns` completion count) would silently
-/// wrap in release builds. Real tables stop far earlier: a 32-pin gate
-/// would need a 4-billion-entry table.
+/// Panics if more than 31 pins are passed — the same cap
+/// [`LeakageLibrary::gate_table`] and [`LeakageLibrary::best_state`]
+/// enforce (`fanin < 32`), because a 32nd pin's `1 << pin` state mask (and
+/// the `2^unknowns` completion count) would silently wrap in release
+/// builds, and no 32-pin table can be built to index anyway. Real tables
+/// stop far earlier: a 31-pin gate would need a 2-billion-entry table.
 fn averaged_table_lookup(table: &[f64], pins: impl Iterator<Item = Logic>) -> f64 {
     let mut base_state = 0u32;
     let mut unknown_mask = 0u32;
     for (pin, value) in pins.enumerate() {
-        assert!(pin < 32, "leakage tables support at most 32 input pins");
+        assert!(pin < 31, "leakage tables support at most 31 input pins");
         match value {
             Logic::One => base_state |= 1 << pin,
             Logic::Zero => {}
@@ -284,8 +454,10 @@ impl LeakageAverage {
 /// Plugs into
 /// [`PackedScanShiftSim::run_with_observer`](scanpower_sim::PackedScanShiftSim):
 /// every [`ShiftPhase::Shift`] event is evaluated once over all active lanes
-/// with [`LeakageEstimator::circuit_leakage_lanes`] — no unpacking to scalar
-/// [`Logic`] per cycle — and the per-cycle lane rows are buffered until the
+/// with [`LeakageEstimator::circuit_leakage_lanes_into`] (the lane-parallel
+/// ternary-table gather, writing into a recycled row buffer — no unpacking
+/// to scalar [`Logic`] and no allocation per cycle in the steady state) and
+/// the per-cycle lane rows are buffered until the
 /// block's [`ShiftPhase::Capture`] event, where they are flushed into the
 /// running [`LeakageAverage`] **lane-first** (pattern 0's cycles, then
 /// pattern 1's, …). That is exactly the order the scalar replay visits its
@@ -296,6 +468,11 @@ pub struct PackedShiftLeakage<'a> {
     netlist: &'a Netlist,
     estimator: &'a LeakageEstimator,
     rows: Vec<Vec<f64>>,
+    /// Flushed rows, recycled so the steady state allocates nothing: after
+    /// the first block every shift cycle pops a spent row, refills it in
+    /// place ([`LeakageEstimator::circuit_leakage_lanes_into`]) and pushes
+    /// it back at the capture flush.
+    pool: Vec<Vec<f64>>,
     average: LeakageAverage,
 }
 
@@ -307,6 +484,7 @@ impl<'a> PackedShiftLeakage<'a> {
             netlist,
             estimator,
             rows: Vec::new(),
+            pool: Vec::new(),
             average: LeakageAverage::new(),
         }
     }
@@ -316,18 +494,19 @@ impl<'a> PackedShiftLeakage<'a> {
     /// matching the paper's shift-only static power).
     pub fn observe(&mut self, phase: ShiftPhase, values: &[PackedWord], lanes: usize) {
         match phase {
-            ShiftPhase::Shift => self.rows.push(self.estimator.circuit_leakage_lanes(
-                self.netlist,
-                values,
-                lanes,
-            )),
+            ShiftPhase::Shift => {
+                let mut row = self.pool.pop().unwrap_or_default();
+                self.estimator
+                    .circuit_leakage_lanes_into(self.netlist, values, lanes, &mut row);
+                self.rows.push(row);
+            }
             ShiftPhase::Capture => {
                 for lane in 0..lanes {
                     for row in &self.rows {
                         self.average.add(row[lane]);
                     }
                 }
-                self.rows.clear();
+                self.pool.append(&mut self.rows);
             }
         }
     }
@@ -533,6 +712,154 @@ mod tests {
             scalar_average.average_na().to_bits(),
             "packed static average must be bit-identical to the scalar path"
         );
+    }
+
+    /// Randomized agreement sweep for the lane-parallel lookup: every
+    /// gate fanin from 0-input constants up past the ternary precompute
+    /// threshold, X densities from none to all-X, and partial final blocks
+    /// — the gather path must equal the scalar `averaged_table_lookup`
+    /// **to the bit**, lane by lane.
+    #[test]
+    fn lane_parallel_lookup_matches_scalar_lookup_bitwise() {
+        use rand::{Rng, SeedableRng};
+        use rand_chacha::ChaCha8Rng;
+        use scanpower_sim::kernel::pack_logic_patterns;
+        use scanpower_sim::{PackedWord, SimKernel};
+
+        let library = LeakageLibrary::cmos45();
+        let mut rng = ChaCha8Rng::seed_from_u64(0x7e57_1ea4);
+        // Fanins straddling the precompute threshold: 11 and 12 exercise
+        // the subset-enumeration fallback inside a lane-parallel estimator.
+        for fanin in [
+            0usize,
+            1,
+            2,
+            3,
+            4,
+            7,
+            LeakageEstimator::TERNARY_FANIN_LIMIT,
+            11,
+            12,
+        ] {
+            let mut n = Netlist::new("sweep");
+            let inputs: Vec<_> = (0..fanin.max(1))
+                .map(|i| n.add_input(&format!("i{i}")))
+                .collect();
+            let mut gates = Vec::new();
+            if fanin == 0 {
+                gates.push(n.add_gate(GateKind::Const0, &[], "c0").gate);
+                gates.push(n.add_gate(GateKind::Const1, &[], "c1").gate);
+                // Keep the lone input driven into the netlist.
+                n.add_gate(GateKind::Not, &[inputs[0]], "sink");
+            } else if fanin == 1 {
+                gates.push(n.add_gate(GateKind::Buf, &inputs, "buf").gate);
+                gates.push(n.add_gate(GateKind::Not, &inputs, "not").gate);
+            } else {
+                for kind in [GateKind::And, GateKind::Nand, GateKind::Nor, GateKind::Xor] {
+                    gates.push(n.add_gate(kind, &inputs, &format!("{kind:?}_{fanin}")).gate);
+                }
+                if fanin == 3 {
+                    gates.push(n.add_gate(GateKind::Mux, &inputs, "mux").gate);
+                }
+            }
+
+            let lane_parallel = LeakageEstimator::new(&n, &library);
+            let scalar_lookup = LeakageEstimator::with_lookup(&n, &library, LeakageLookup::Scalar);
+            assert_eq!(lane_parallel.lookup(), LeakageLookup::LaneParallel);
+            assert!(scalar_lookup.ternary_tables.is_empty());
+            for &gate in &gates {
+                assert_eq!(
+                    lane_parallel.ternary[gate.index()].is_some(),
+                    fanin <= LeakageEstimator::TERNARY_FANIN_LIMIT,
+                    "fanin {fanin}: precompute must respect the threshold"
+                );
+            }
+
+            let ev = Evaluator::new(&n);
+            let width = ev.inputs().len();
+            // X densities: none, sparse, all-X; block sizes: partial and full.
+            for (density, lanes) in [(0.0, 64), (0.0, 1), (0.2, 37), (0.2, 64), (1.0, 23)] {
+                let patterns: Vec<Vec<Logic>> = (0..lanes)
+                    .map(|_| {
+                        (0..width)
+                            .map(|_| {
+                                if density >= 1.0 || rng.gen_bool(density) {
+                                    Logic::X
+                                } else {
+                                    Logic::from_bool(rng.gen_bool(0.5))
+                                }
+                            })
+                            .collect()
+                    })
+                    .collect();
+                let mut kernel = SimKernel::<PackedWord>::new(&n);
+                let packed = kernel
+                    .evaluate(&n, &pack_logic_patterns(&patterns))
+                    .to_vec();
+
+                let fast = lane_parallel.circuit_leakage_lanes(&n, &packed, lanes);
+                let slow = scalar_lookup.circuit_leakage_lanes(&n, &packed, lanes);
+                for (lane, pattern) in patterns.iter().enumerate() {
+                    let reference = lane_parallel.circuit_leakage(&n, &ev.evaluate(&n, pattern));
+                    assert_eq!(
+                        fast[lane].to_bits(),
+                        reference.to_bits(),
+                        "fanin {fanin}, density {density}, lane {lane}: \
+                         lane-parallel lookup must be bit-identical"
+                    );
+                    assert_eq!(
+                        slow[lane].to_bits(),
+                        reference.to_bits(),
+                        "fanin {fanin}, density {density}, lane {lane}: \
+                         scalar-lookup fallback must be bit-identical"
+                    );
+                }
+
+                // The write-into variant must fully overwrite a recycled
+                // buffer (stale contents, larger previous size).
+                let mut recycled = vec![f64::NAN; 64];
+                lane_parallel.circuit_leakage_lanes_into(&n, &packed, lanes, &mut recycled);
+                assert_eq!(recycled.len(), lanes);
+                for (lane, &value) in recycled.iter().enumerate() {
+                    assert_eq!(value.to_bits(), fast[lane].to_bits());
+                }
+            }
+        }
+    }
+
+    /// Every `10` pin code must hold the exact bits of its canonical `11`
+    /// sibling (both decode as X), and every canonical entry must equal
+    /// the scalar lookup over the decoded pins.
+    #[test]
+    fn ternary_table_ten_codes_mirror_eleven_codes() {
+        let library = LeakageLibrary::cmos45();
+        for fanin in [1usize, 2, 3] {
+            let binary = library.gate_table(GateKind::Nand, fanin);
+            let ternary = build_ternary_table(&binary, fanin);
+            assert_eq!(ternary.len(), 1 << (2 * fanin));
+            for (code, &entry) in ternary.iter().enumerate() {
+                let mut canonical = code;
+                for pin in 0..fanin {
+                    if (code >> (2 * pin)) & 0b11 == 0b10 {
+                        canonical |= 1 << (2 * pin);
+                    }
+                }
+                assert_eq!(
+                    entry.to_bits(),
+                    ternary[canonical].to_bits(),
+                    "code {code:b}"
+                );
+                let scalar = averaged_table_lookup(
+                    &binary,
+                    (0..fanin).map(|pin| match (code >> (2 * pin)) & 0b11 {
+                        0b00 => Logic::Zero,
+                        0b01 => Logic::One,
+                        _ => Logic::X,
+                    }),
+                );
+                assert_eq!(entry.to_bits(), scalar.to_bits(), "code {code:b}");
+            }
+        }
     }
 
     #[test]

@@ -221,6 +221,31 @@ impl PackedWord {
         }
     }
 
+    /// The raw bit planes of the word as a `(can0, can1)` pair — the same
+    /// masks [`can0`](PackedWord::can0)/[`can1`](PackedWord::can1) return,
+    /// bundled for callers that consume both planes at once (bit-plane
+    /// transposes such as [`lane_state_indices`]).
+    #[must_use]
+    pub fn bit_planes(self) -> (u64, u64) {
+        (self.can0, self.can1)
+    }
+
+    /// Rebuilds a word from its two bit planes (the inverse of
+    /// [`bit_planes`](PackedWord::bit_planes)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any lane would be `(0, 0)` — "can be neither 0 nor 1" is
+    /// not a value the encoding admits.
+    #[must_use]
+    pub fn from_planes(can0: u64, can1: u64) -> PackedWord {
+        assert!(
+            can0 | can1 == u64::MAX,
+            "every lane must be able to carry at least one value"
+        );
+        PackedWord { can0, can1 }
+    }
+
     /// Sets the value of one lane.
     ///
     /// # Panics
@@ -385,6 +410,57 @@ pub fn pack_logic_patterns<P: AsRef<[Logic]>>(patterns: &[P]) -> Vec<PackedWord>
         }
     }
     words
+}
+
+/// Pin codes a [`lane_state_indices`] transpose packs per lane: 2 bits per
+/// pin, `00` = known 0, `01` = known 1, high bit set (`1x`) = unknown. The
+/// transpose itself only ever emits `11` for an unknown pin, but consumers
+/// must treat any index with a high pin bit as carrying an X on that pin.
+pub const STATE_INDEX_BITS_PER_PIN: usize = 2;
+
+/// Maximum number of pin words one [`lane_state_indices`] call accepts —
+/// the per-lane indices are `u32`, so at most 16 two-bit pin codes fit.
+pub const STATE_INDEX_MAX_PINS: usize = 32 / STATE_INDEX_BITS_PER_PIN;
+
+/// Transposes the bit planes of a gate's pin words (pins × lanes) into one
+/// ternary **state index** per lane: bits `2p..2p+2` of `indices[l]` encode
+/// pin `p` of lane `l` as `00` = 0, `01` = 1, `11` = X (see
+/// [`STATE_INDEX_BITS_PER_PIN`]). Only `indices[..lanes]` is written;
+/// entries at and beyond `lanes` keep whatever the (reused) buffer held.
+///
+/// This is the gather behind the lane-parallel leakage table lookup: the
+/// per-pin [`bit_planes`](PackedWord::bit_planes) are walked with
+/// shift-and-clear bit scans (`trailing_zeros` + `m & (m - 1)`), so
+/// assembling all ≤64 indices costs one pass over the set plane bits
+/// instead of `64 × fanin` scalar [`PackedWord::lane`] decodes.
+///
+/// # Panics
+///
+/// Panics if more than [`STATE_INDEX_MAX_PINS`] pin words are passed or
+/// `lanes > 64`.
+pub fn lane_state_indices(pins: &[PackedWord], lanes: usize, indices: &mut [u32; 64]) {
+    assert!(
+        pins.len() <= STATE_INDEX_MAX_PINS,
+        "a u32 state index holds at most {STATE_INDEX_MAX_PINS} two-bit pin codes"
+    );
+    let active = PackedWord::lane_mask(lanes);
+    indices[..lanes].fill(0);
+    for (pin, word) in pins.iter().enumerate() {
+        let (can0, can1) = word.bit_planes();
+        // Lanes that may carry a 1 (known 1 or X) set the low pin bit …
+        let mut ones = can1 & active;
+        while ones != 0 {
+            indices[ones.trailing_zeros() as usize] |= 1 << (2 * pin);
+            ones &= ones - 1;
+        }
+        // … and unknown lanes (both planes set) additionally set the high
+        // (X) pin bit, so a known 1 codes `01` and an X codes `11`.
+        let mut unknown = can0 & can1 & active;
+        while unknown != 0 {
+            indices[unknown.trailing_zeros() as usize] |= 1 << (2 * pin + 1);
+            unknown &= unknown - 1;
+        }
+    }
 }
 
 /// Zero-delay evaluation engine for the combinational part of a netlist,
@@ -678,6 +754,73 @@ mod tests {
         let mut top = PackedWord::splat(Logic::Zero);
         top.set_lane(63, Logic::One);
         assert_eq!(top.shifted_lanes(Logic::Zero).lane(63), Logic::Zero);
+    }
+
+    #[test]
+    fn bit_planes_round_trip() {
+        let mut word = PackedWord::splat(Logic::X);
+        word.set_lane(0, Logic::Zero);
+        word.set_lane(5, Logic::One);
+        let (can0, can1) = word.bit_planes();
+        assert_eq!(can0, word.can0());
+        assert_eq!(can1, word.can1());
+        assert_eq!(PackedWord::from_planes(can0, can1), word);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one value")]
+    fn from_planes_rejects_impossible_lanes() {
+        // Lane 3 can be neither 0 nor 1.
+        let _ = PackedWord::from_planes(!(1u64 << 3), !(1u64 << 3));
+    }
+
+    /// The bit-plane transpose must produce, for every lane, exactly the
+    /// 2-bit-per-pin code the scalar `lane()` decode implies.
+    #[test]
+    fn lane_state_indices_matches_scalar_lane_decode() {
+        // 3 pins, each cycling 0/1/X out of phase across 64 lanes.
+        let mut pins = [PackedWord::splat(Logic::X); 3];
+        for lane in 0..64 {
+            for (pin, word) in pins.iter_mut().enumerate() {
+                let value = match (lane + 2 * pin) % 3 {
+                    0 => Logic::Zero,
+                    1 => Logic::One,
+                    _ => Logic::X,
+                };
+                word.set_lane(lane, value);
+            }
+        }
+        for lanes in [0, 1, 37, 64] {
+            let mut indices = [u32::MAX; 64];
+            lane_state_indices(&pins, lanes, &mut indices);
+            for (lane, &index) in indices.iter().enumerate().take(lanes) {
+                let mut expected = 0u32;
+                for (pin, word) in pins.iter().enumerate() {
+                    expected |= match word.lane(lane) {
+                        Logic::Zero => 0b00,
+                        Logic::One => 0b01,
+                        Logic::X => 0b11,
+                    } << (2 * pin);
+                }
+                assert_eq!(index, expected, "lanes {lanes}, lane {lane}");
+            }
+        }
+    }
+
+    #[test]
+    fn lane_state_indices_zero_pins_yields_zero_indices() {
+        let mut indices = [u32::MAX; 64];
+        lane_state_indices(&[], 7, &mut indices);
+        assert!(indices[..7].iter().all(|&i| i == 0));
+        assert!(indices[7..].iter().all(|&i| i == u32::MAX));
+    }
+
+    #[test]
+    #[should_panic(expected = "two-bit pin codes")]
+    fn lane_state_indices_rejects_too_many_pins() {
+        let pins = vec![PackedWord::splat(Logic::Zero); STATE_INDEX_MAX_PINS + 1];
+        let mut indices = [0u32; 64];
+        lane_state_indices(&pins, 64, &mut indices);
     }
 
     #[test]

@@ -145,6 +145,51 @@ fn experiment_scheme_evaluation_is_bit_identical_between_replays() {
     );
 }
 
+/// The scalar-lookup cross-check configuration
+/// (`ExperimentOptions::scalar_leakage_lookup`): replaying with the
+/// per-gate-per-lane subset-enumeration lookup must reproduce the default
+/// lane-parallel ternary-table gather bit for bit — `SchemePower`,
+/// `ShiftStats` and the full multi-circuit report. CI runs this test by
+/// name so the fallback path cannot rot.
+#[test]
+fn scalar_leakage_lookup_cross_check_is_bit_identical() {
+    let circuit = generated_circuit();
+    let patterns = ternary_patterns(&circuit, 70, 0xcafe);
+    let config = traditional_shift_config(&circuit);
+    let reference = CircuitExperiment::new(ExperimentOptions::fast());
+    let cross_check = CircuitExperiment::new(ExperimentOptions {
+        scalar_leakage_lookup: true,
+        ..ExperimentOptions::fast()
+    });
+    let (reference_power, reference_stats) =
+        reference.evaluate_scheme_stats(&circuit, &patterns, &config);
+    let (cross_power, cross_stats) =
+        cross_check.evaluate_scheme_stats(&circuit, &patterns, &config);
+    assert_eq!(cross_stats, reference_stats);
+    assert_eq!(
+        cross_power.static_uw.to_bits(),
+        reference_power.static_uw.to_bits(),
+        "scalar lookup must match the lane-parallel gather bit for bit"
+    );
+    assert_eq!(cross_power, reference_power);
+
+    let specs = vec![
+        CircuitFamily::iscas89_like("s344").unwrap(),
+        CircuitFamily::iscas89_like("s382").unwrap(),
+    ];
+    let fast = run_table1(&specs, &ExperimentOptions::fast(), Some(0.3), 2);
+    let slow = run_table1(
+        &specs,
+        &ExperimentOptions {
+            scalar_leakage_lookup: true,
+            ..ExperimentOptions::fast()
+        },
+        Some(0.3),
+        2,
+    );
+    assert_eq!(slow, fast, "report must not depend on the lookup mode");
+}
+
 /// The full multi-circuit harness: one circuit per driver job, merged in
 /// circuit order — bit-identical for thread counts {1, 2, 3, 8, auto}, and
 /// identical between the packed and the scalar replay.

@@ -3,11 +3,13 @@
 //! counting only) and with the static-power observer attached (lane-parallel
 //! ternary-table lookup and the scalar-lookup cross-check), the
 //! leakage-lookup seam in isolation (scalar vs lane-parallel, ± X density),
-//! plus the multi-circuit Table I harness at 1 worker thread vs the
-//! automatic count. All comparisons are bit-identical by construction —
-//! asserted once before timing — so the bench measures speed only. A
-//! snapshot of the measured means lives in `BENCH_scan_shift.json` at the
-//! repository root.
+//! the packed propagation seam (`event_driven` group: full-sweep vs
+//! event-driven cycles, ± observer, on a high-activity traditional config
+//! and a low-activity held-PI/forced-chain config), plus the multi-circuit
+//! Table I harness at 1 worker thread vs the automatic count. All
+//! comparisons are bit-identical by construction — asserted once before
+//! timing — so the bench measures speed only. A snapshot of the measured
+//! means lives in `BENCH_scan_shift.json` at the repository root.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
@@ -20,7 +22,7 @@ use scanpower_power::{
 use scanpower_sim::kernel::pack_logic_patterns;
 use scanpower_sim::patterns::random_bool_patterns;
 use scanpower_sim::scan::{ScanPattern, ScanShiftSim, ShiftConfig, ShiftPhase};
-use scanpower_sim::{BlockDriver, Logic, PackedScanShiftSim, PackedWord, SimKernel};
+use scanpower_sim::{BlockDriver, Logic, PackedScanShiftSim, PackedWord, Propagation, SimKernel};
 
 fn replay_patterns(
     circuit: &scanpower_netlist::Netlist,
@@ -160,6 +162,67 @@ fn scan_shift(c: &mut Criterion) {
                 estimator.circuit_leakage_lanes_into(black_box(&circuit), &values, 64, &mut totals);
             });
         });
+    }
+    group.finish();
+
+    // The propagation seam: full-sweep vs event-driven packed cycles, bare
+    // and observer-attached. `traditional` ripples random patterns through
+    // an unforced chain — with 64 lanes per word nearly every net moves
+    // every cycle, so event-driven ≈ full sweep there. `low_activity` holds
+    // the PIs and forces two thirds of the chain (the shape the paper's
+    // proposed structure engineers): most cones are quiet and the dirty
+    // worklist skips them.
+    let low_activity = {
+        let mut config = ShiftConfig::with_pi_control(
+            circuit.dff_count(),
+            (0..circuit.primary_inputs().len())
+                .map(|i| Logic::from_bool(i % 2 == 0))
+                .collect(),
+        );
+        for (cell, forced) in config.forced_pseudo.iter_mut().enumerate() {
+            if cell % 3 != 0 {
+                *forced = Some(Logic::from_bool(cell % 2 == 0));
+            }
+        }
+        config
+    };
+    let mut group = c.benchmark_group("event_driven");
+    group.sample_size(10);
+    for (label, config) in [("traditional", &config), ("low_activity", &low_activity)] {
+        assert_eq!(
+            packed.run_cycles(
+                &circuit,
+                &patterns,
+                config,
+                Propagation::EventDriven,
+                |_| {}
+            ),
+            packed.run_cycles(&circuit, &patterns, config, Propagation::FullSweep, |_| {}),
+            "propagation modes must be bit-identical ({label})"
+        );
+        for (mode_label, propagation) in [
+            ("full_sweep", Propagation::FullSweep),
+            ("event_driven", Propagation::EventDriven),
+        ] {
+            group.bench_function(format!("replay_128_{mode_label}_{label}"), |b| {
+                b.iter(|| {
+                    packed.run_cycles(black_box(&circuit), &patterns, config, propagation, |_| {})
+                });
+            });
+            group.bench_function(format!("observer_128_{mode_label}_{label}"), |b| {
+                b.iter(|| {
+                    let mut observer = PackedShiftLeakage::new(&circuit, &estimator);
+                    let stats = packed.run_cycles(
+                        black_box(&circuit),
+                        &patterns,
+                        config,
+                        propagation,
+                        |cycle| observer.observe_cycle(cycle),
+                    );
+                    (stats, observer.into_average())
+                });
+            });
+        }
     }
     group.finish();
 

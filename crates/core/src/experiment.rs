@@ -17,7 +17,7 @@ use scanpower_power::{
     PackedShiftLeakage,
 };
 use scanpower_sim::scan::{ScanPattern, ScanShiftSim, ShiftConfig, ShiftPhase, ShiftStats};
-use scanpower_sim::{BlockDriver, PackedScanShiftSim};
+use scanpower_sim::{BlockDriver, PackedScanShiftSim, Propagation};
 
 use crate::baseline::{traditional_shift_config, InputControlBaseline};
 use crate::proposed::{ProposedMethod, ProposedOptions};
@@ -126,6 +126,18 @@ pub struct ExperimentOptions {
     /// cross-checking.
     #[serde(default = "default_packed_replay")]
     pub packed_replay: bool,
+    /// Propagate each packed shift cycle event-driven
+    /// ([`Propagation::EventDriven`]): only the fanout cones of the nets
+    /// that actually changed are re-evaluated, and the static-power
+    /// observer re-gathers only the gates those nets feed. `false` selects
+    /// the full-topological-sweep cross-check ([`Propagation::FullSweep`]);
+    /// both modes are bit-identical — a named CI suite step keeps the
+    /// full-sweep configuration exercised, mirroring
+    /// [`scalar_leakage_lookup`](ExperimentOptions::scalar_leakage_lookup).
+    /// Ignored by the scalar replay (`packed_replay = false`), which has
+    /// its own (scalar) event-driven engine.
+    #[serde(default = "default_event_driven")]
+    pub event_driven: bool,
     /// Build the static-power estimator with [`LeakageLookup::Scalar`]:
     /// the packed observer then re-runs the scalar subset-enumeration
     /// lookup per gate × lane instead of gathering from the precomputed
@@ -140,6 +152,10 @@ fn default_packed_replay() -> bool {
     true
 }
 
+fn default_event_driven() -> bool {
+    true
+}
+
 impl Default for ExperimentOptions {
     fn default() -> Self {
         ExperimentOptions {
@@ -148,6 +164,7 @@ impl Default for ExperimentOptions {
             proposed: ProposedOptions::default(),
             threads: 0,
             packed_replay: default_packed_replay(),
+            event_driven: default_event_driven(),
             scalar_leakage_lookup: false,
         }
     }
@@ -215,8 +232,12 @@ impl CircuitExperiment {
     /// stats *and* power numbers — the packed path buffers each block's
     /// per-cycle lane leakages and accumulates them in the scalar pattern-
     /// major order ([`PackedShiftLeakage`]), so even the floating-point
-    /// static average matches bit for bit. The observer's per-gate table
-    /// lookup is lane-parallel by default;
+    /// static average matches bit for bit. The packed replay propagates
+    /// each shift cycle event-driven by default
+    /// ([`ExperimentOptions::event_driven`]), re-evaluating and re-gathering
+    /// only what the cycle's changed nets reach; `event_driven = false`
+    /// selects the bit-identical full-sweep cross-check. The observer's
+    /// per-gate table lookup is lane-parallel by default;
     /// [`ExperimentOptions::scalar_leakage_lookup`] switches it to the
     /// (equally bit-identical) scalar enumeration for cross-checks.
     #[must_use]
@@ -235,10 +256,15 @@ impl CircuitExperiment {
         };
         let estimator = LeakageEstimator::with_lookup(netlist, &self.library, lookup);
         let (stats, leakage) = if self.options.packed_replay {
+            let propagation = if self.options.event_driven {
+                Propagation::EventDriven
+            } else {
+                Propagation::FullSweep
+            };
             let sim = PackedScanShiftSim::new(netlist);
             let mut leakage = PackedShiftLeakage::new(netlist, &estimator);
-            let stats = sim.run_with_observer(netlist, patterns, config, |phase, values, lanes| {
-                leakage.observe(phase, values, lanes);
+            let stats = sim.run_cycles(netlist, patterns, config, propagation, |cycle| {
+                leakage.observe_cycle(cycle);
             });
             (stats, leakage.into_average())
         } else {
@@ -512,6 +538,32 @@ mod tests {
         });
         assert!(packed.options().packed_replay);
         assert_eq!(packed.run(&n), scalar.run(&n));
+    }
+
+    /// The full-sweep cross-check configuration (`event_driven = false`)
+    /// must reproduce the default event-driven rows bit for bit, alone and
+    /// combined with the scalar-lookup cross-check.
+    #[test]
+    fn full_sweep_cross_check_produces_identical_rows() {
+        let n = bench::parse(bench::S27_BENCH, "s27").unwrap();
+        let reference = CircuitExperiment::new(ExperimentOptions::fast());
+        assert!(
+            reference.options().event_driven,
+            "event-driven is the default"
+        );
+        let reference = reference.run(&n);
+        for scalar_leakage_lookup in [false, true] {
+            let cross_check = CircuitExperiment::new(ExperimentOptions {
+                event_driven: false,
+                scalar_leakage_lookup,
+                ..ExperimentOptions::fast()
+            })
+            .run(&n);
+            assert_eq!(
+                cross_check, reference,
+                "scalar_leakage_lookup {scalar_leakage_lookup}"
+            );
+        }
     }
 
     /// The scalar-lookup cross-check configuration must reproduce the

@@ -6,7 +6,7 @@
 //! * [`Netlist`], [`Gate`], [`GateKind`], [`NetId`], [`GateId`] — an indexed,
 //!   append-only gate-level netlist with explicit primary inputs, primary
 //!   outputs and D flip-flops (full-scan state elements).
-//! * [`bench`](crate::bench) — a reader and writer for the ISCAS89 `.bench`
+//! * [`mod@bench`] — a reader and writer for the ISCAS89 `.bench`
 //!   format.
 //! * [`techmap`] — technology mapping onto the {NAND, NOR, INV} library used
 //!   by the paper.

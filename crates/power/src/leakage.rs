@@ -1,9 +1,9 @@
 use serde::{Deserialize, Serialize};
 
-use scanpower_netlist::{GateId, GateKind, Netlist};
+use scanpower_netlist::{GateId, GateKind, NetId, Netlist};
 use scanpower_sim::kernel;
 use scanpower_sim::scan::ShiftPhase;
-use scanpower_sim::{Logic, LogicWord, PackedWord};
+use scanpower_sim::{Logic, LogicWord, PackedWord, ShiftCycle};
 
 use crate::model::{self, LeakageParams, VDD};
 
@@ -126,7 +126,7 @@ pub enum LeakageLookup {
 /// additionally precomputes **ternary tables**: one entry per 2-bit-per-pin
 /// encoded input state (`00` = 0, `01` = 1, high bit set = X), holding the
 /// already-X-averaged leakage. Every entry is filled by the scalar
-/// [`averaged_table_lookup`] itself, so the fast path is bit-identical to
+/// `averaged_table_lookup` itself, so the fast path is bit-identical to
 /// the scalar one by construction. Gates wider than
 /// [`LeakageEstimator::TERNARY_FANIN_LIMIT`] pins (whose `4^fanin` table
 /// would be too large) fall back to the scalar lookup per lane, as does the
@@ -274,30 +274,60 @@ impl LeakageEstimator {
         assert!(lanes <= 64, "a packed word holds at most 64 lanes");
         totals.clear();
         totals.resize(lanes, 0.0);
-        let mut indices = [0u32; 64];
+        let mut contributions = [0.0f64; 64];
+        for gate_id in netlist.gate_ids() {
+            self.gate_leakage_lanes_into(netlist, gate_id, values, lanes, &mut contributions);
+            for (total, &contribution) in totals.iter_mut().zip(&contributions) {
+                *total += contribution;
+            }
+        }
+    }
+
+    /// Per-lane leakage current (nA) of **one** gate over the first `lanes`
+    /// circuit states of a packed simulation result, written into
+    /// `out[..lanes]` (entries beyond `lanes` are left untouched) — the
+    /// per-gate building block of
+    /// [`circuit_leakage_lanes_into`](LeakageEstimator::circuit_leakage_lanes_into),
+    /// exposed so incremental observers
+    /// ([`PackedShiftLeakage::observe_cycle`]) can re-gather only the gates
+    /// whose input state changed. Each written value is exactly the float
+    /// the scalar [`LeakageEstimator::gate_leakage`] would produce for that
+    /// lane's decoded state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes > 64` or `out` is shorter than `lanes`.
+    pub fn gate_leakage_lanes_into(
+        &self,
+        netlist: &Netlist,
+        gate_id: GateId,
+        values: &[PackedWord],
+        lanes: usize,
+        out: &mut [f64],
+    ) {
+        assert!(lanes <= 64, "a packed word holds at most 64 lanes");
         // The gate, its table and its input words are loop-invariant over
         // the lanes: resolve them once per gate, not once per lane. 31 pins
         // is the workspace-wide table cap, so the gather buffer lives on
         // the stack.
         let mut pin_words = [PackedWord::splat(Logic::X); 31];
-        for gate_id in netlist.gate_ids() {
-            let gate = netlist.gate(gate_id);
-            let fanin = gate.inputs.len();
-            for (word, &input) in pin_words.iter_mut().zip(&gate.inputs) {
-                *word = values[input.index()];
+        let gate = netlist.gate(gate_id);
+        let fanin = gate.inputs.len();
+        for (word, &input) in pin_words.iter_mut().zip(&gate.inputs) {
+            *word = values[input.index()];
+        }
+        let pins = &pin_words[..fanin];
+        if let Some(slot) = self.ternary[gate_id.index()] {
+            let table = &self.ternary_tables[slot];
+            let mut indices = [0u32; 64];
+            kernel::lane_state_indices(pins, lanes, &mut indices);
+            for (slot, &index) in out[..lanes].iter_mut().zip(&indices) {
+                *slot = table[index as usize];
             }
-            let pins = &pin_words[..fanin];
-            if let Some(slot) = self.ternary[gate_id.index()] {
-                let table = &self.ternary_tables[slot];
-                kernel::lane_state_indices(pins, lanes, &mut indices);
-                for (total, &index) in totals.iter_mut().zip(&indices) {
-                    *total += table[index as usize];
-                }
-            } else {
-                let table = &self.tables[gate_id.index()];
-                for (lane, total) in totals.iter_mut().enumerate() {
-                    *total += averaged_table_lookup(table, pins.iter().map(|word| word.lane(lane)));
-                }
+        } else {
+            let table = &self.tables[gate_id.index()];
+            for (lane, slot) in out[..lanes].iter_mut().enumerate() {
+                *slot = averaged_table_lookup(table, pins.iter().map(|word| word.lane(lane)));
             }
         }
     }
@@ -451,18 +481,68 @@ impl LeakageAverage {
 
 /// Lane-aware static-power observer for the packed scan-shift replay.
 ///
-/// Plugs into
-/// [`PackedScanShiftSim::run_with_observer`](scanpower_sim::PackedScanShiftSim):
-/// every [`ShiftPhase::Shift`] event is evaluated once over all active lanes
-/// with [`LeakageEstimator::circuit_leakage_lanes_into`] (the lane-parallel
-/// ternary-table gather, writing into a recycled row buffer — no unpacking
+/// Plugs into the packed replay
+/// ([`PackedScanShiftSim::run_cycles`](scanpower_sim::PackedScanShiftSim::run_cycles)
+/// via [`PackedShiftLeakage::observe_cycle`], or the plain observer hook via
+/// [`PackedShiftLeakage::observe`]): every [`ShiftPhase::Shift`] event is
+/// evaluated once over all active lanes with the lane-parallel
+/// ternary-table gather (writing into a recycled row buffer — no unpacking
 /// to scalar [`Logic`] and no allocation per cycle in the steady state) and
-/// the per-cycle lane rows are buffered until the
-/// block's [`ShiftPhase::Capture`] event, where they are flushed into the
-/// running [`LeakageAverage`] **lane-first** (pattern 0's cycles, then
-/// pattern 1's, …). That is exactly the order the scalar replay visits its
-/// states in, so the floating-point accumulation — and therefore the
-/// reported average static power — is bit-identical to the scalar path.
+/// the per-cycle lane rows are buffered until the block's
+/// [`ShiftPhase::Capture`] event, where they are flushed into the running
+/// [`LeakageAverage`] **lane-first** (pattern 0's cycles, then pattern 1's,
+/// …). That is exactly the order the scalar replay visits its states in, so
+/// the floating-point accumulation — and therefore the reported average
+/// static power — is bit-identical to the scalar path.
+///
+/// # The event-driven delta gather
+///
+/// When the replay supplies a changed-net delta
+/// ([`ShiftCycle::changed`]), the observer keeps a per-gate **contribution
+/// cache** (each gate's 64 per-lane leakage values from the previous cycle)
+/// and re-gathers only the gates that read a changed net; every other
+/// gate's contribution is reused from the cache. Naïve floating-point
+/// *delta accumulation* (`row − old + new`) would change the summation
+/// order and break bit-identity, so the per-lane row is instead always
+/// re-summed over the cached contributions **gate by gate, in netlist
+/// order** — the identical floats added in the identical order the full
+/// gather uses, which keeps the average bit-identical while skipping the
+/// expensive bit-plane transposes and table loads for settled gates. A
+/// cycle with an empty delta reuses the previous row outright.
+///
+/// # Examples
+///
+/// Averaging static power over a packed event-driven scan replay:
+///
+/// ```
+/// use scanpower_netlist::bench;
+/// use scanpower_power::{LeakageEstimator, LeakageLibrary, PackedShiftLeakage};
+/// use scanpower_sim::scan::{ScanPattern, ShiftConfig};
+/// use scanpower_sim::{PackedScanShiftSim, Propagation};
+///
+/// let circuit = bench::parse(bench::S27_BENCH, "s27")?;
+/// let library = LeakageLibrary::cmos45();
+/// let estimator = LeakageEstimator::new(&circuit, &library);
+/// let patterns = vec![
+///     ScanPattern::from_bools(&[true, false, true, false], &[true, false, true]),
+///     ScanPattern::from_bools(&[false, true, false, true], &[false, true, true]),
+/// ];
+/// let config = ShiftConfig::traditional(circuit.dff_count());
+///
+/// let mut observer = PackedShiftLeakage::new(&circuit, &estimator);
+/// let stats = PackedScanShiftSim::new(&circuit).run_cycles(
+///     &circuit,
+///     &patterns,
+///     &config,
+///     Propagation::EventDriven,
+///     |cycle| observer.observe_cycle(cycle),
+/// );
+/// let average = observer.into_average();
+/// // One leakage sample per pattern per shift cycle, shift states only.
+/// assert_eq!(average.samples(), stats.shift_cycles);
+/// assert!(average.average_uw(&library) > 0.0);
+/// # Ok::<(), scanpower_netlist::NetlistError>(())
+/// ```
 #[derive(Debug, Clone)]
 pub struct PackedShiftLeakage<'a> {
     netlist: &'a Netlist,
@@ -470,10 +550,28 @@ pub struct PackedShiftLeakage<'a> {
     rows: Vec<Vec<f64>>,
     /// Flushed rows, recycled so the steady state allocates nothing: after
     /// the first block every shift cycle pops a spent row, refills it in
-    /// place ([`LeakageEstimator::circuit_leakage_lanes_into`]) and pushes
-    /// it back at the capture flush.
+    /// place and pushes it back at the capture flush.
     pool: Vec<Vec<f64>>,
     average: LeakageAverage,
+    /// Per-gate per-lane contributions of the previously observed shift
+    /// state, 64 slots per gate (lane-major); only meaningful when
+    /// `cache_lanes` is `Some`.
+    contributions: Vec<f64>,
+    /// `Some(lanes)` when `contributions` matches the previous shift event
+    /// (and that event had `lanes` active lanes); `None` before the first
+    /// gather and whenever a delta-less event forces a full re-gather.
+    cache_lanes: Option<usize>,
+    /// Per-gate epoch stamps deduplicating the dirty marks of one cycle.
+    stamp: Vec<u64>,
+    epoch: u64,
+    /// Scratch: the gates to re-gather this cycle.
+    dirty: Vec<u32>,
+    /// `true` once any event carried a changed-net delta. Until then the
+    /// observer is being fed without deltas (the plain
+    /// [`PackedShiftLeakage::observe`] hook, or full-sweep propagation) and
+    /// full gathers skip populating the contribution cache — the cheapest
+    /// path when no delta will ever consult it.
+    delta_seen: bool,
 }
 
 impl<'a> PackedShiftLeakage<'a> {
@@ -486,27 +584,140 @@ impl<'a> PackedShiftLeakage<'a> {
             rows: Vec::new(),
             pool: Vec::new(),
             average: LeakageAverage::new(),
+            contributions: Vec::new(),
+            cache_lanes: None,
+            stamp: vec![0; netlist.gate_count()],
+            epoch: 0,
+            dirty: Vec::new(),
+            delta_seen: false,
         }
     }
 
     /// Feeds one packed replay event (shift states accumulate, the capture
     /// event flushes the block; capture states themselves are not counted,
-    /// matching the paper's shift-only static power).
+    /// matching the paper's shift-only static power). Without change
+    /// information every shift state is fully re-gathered; observers fed by
+    /// [`PackedScanShiftSim::run_cycles`](scanpower_sim::PackedScanShiftSim::run_cycles)
+    /// should use [`PackedShiftLeakage::observe_cycle`], which exploits the
+    /// per-cycle delta.
     pub fn observe(&mut self, phase: ShiftPhase, values: &[PackedWord], lanes: usize) {
-        match phase {
+        self.observe_cycle(&ShiftCycle {
+            phase,
+            values,
+            lanes,
+            changed: None,
+        });
+    }
+
+    /// Feeds one packed replay event with its changed-net delta (see
+    /// [`ShiftCycle`]): shift states accumulate — through the incremental
+    /// contribution cache when [`ShiftCycle::changed`] is present, through
+    /// a full lane-parallel gather otherwise — and the capture event
+    /// flushes the block in the scalar pattern-major order. The resulting
+    /// average is bit-identical either way.
+    pub fn observe_cycle(&mut self, cycle: &ShiftCycle<'_>) {
+        match cycle.phase {
             ShiftPhase::Shift => {
+                self.delta_seen |= cycle.changed.is_some();
                 let mut row = self.pool.pop().unwrap_or_default();
-                self.estimator
-                    .circuit_leakage_lanes_into(self.netlist, values, lanes, &mut row);
+                match (cycle.changed, self.cache_lanes) {
+                    (Some(changed), Some(lanes)) if lanes == cycle.lanes => {
+                        self.regather_dirty(changed, cycle, &mut row);
+                    }
+                    _ if self.delta_seen => self.full_gather(cycle, &mut row),
+                    _ => {
+                        // No delta has ever been offered: gather straight
+                        // into the row without maintaining the cache.
+                        self.estimator.circuit_leakage_lanes_into(
+                            self.netlist,
+                            cycle.values,
+                            cycle.lanes,
+                            &mut row,
+                        );
+                    }
+                }
                 self.rows.push(row);
             }
             ShiftPhase::Capture => {
-                for lane in 0..lanes {
+                for lane in 0..cycle.lanes {
                     for row in &self.rows {
                         self.average.add(row[lane]);
                     }
                 }
                 self.pool.append(&mut self.rows);
+            }
+        }
+    }
+
+    /// Gathers every gate's per-lane contributions into the cache and sums
+    /// the row gate by gate in netlist order — the exact accumulation of
+    /// [`LeakageEstimator::circuit_leakage_lanes_into`].
+    fn full_gather(&mut self, cycle: &ShiftCycle<'_>, row: &mut Vec<f64>) {
+        let gate_count = self.netlist.gate_count();
+        self.contributions.resize(gate_count * 64, 0.0);
+        for gate_id in self.netlist.gate_ids() {
+            let slot = gate_id.index() * 64;
+            self.estimator.gate_leakage_lanes_into(
+                self.netlist,
+                gate_id,
+                cycle.values,
+                cycle.lanes,
+                &mut self.contributions[slot..slot + 64],
+            );
+        }
+        self.cache_lanes = Some(cycle.lanes);
+        self.sum_contributions(cycle.lanes, row);
+    }
+
+    /// Re-gathers only the gates reading a changed net, then re-sums the
+    /// row in the same gate order as a full gather — identical floats,
+    /// identical order, bit-identical sum.
+    fn regather_dirty(&mut self, changed: &[NetId], cycle: &ShiftCycle<'_>, row: &mut Vec<f64>) {
+        self.epoch += 1;
+        self.dirty.clear();
+        for &net in changed {
+            for &(gate, _) in self.netlist.loads(net) {
+                let stamp = &mut self.stamp[gate.index()];
+                if *stamp != self.epoch {
+                    *stamp = self.epoch;
+                    self.dirty.push(gate.index() as u32);
+                }
+            }
+        }
+        if self.dirty.is_empty() {
+            // Nothing a gate reads moved: the previous row's floats are the
+            // sum this cycle would recompute — reuse them outright.
+            if let Some(previous) = self.rows.last() {
+                row.clear();
+                row.extend_from_slice(previous);
+                return;
+            }
+        }
+        for &gate_index in &self.dirty {
+            let slot = gate_index as usize * 64;
+            self.estimator.gate_leakage_lanes_into(
+                self.netlist,
+                GateId::from_index(gate_index as usize),
+                cycle.values,
+                cycle.lanes,
+                &mut self.contributions[slot..slot + 64],
+            );
+        }
+        self.sum_contributions(cycle.lanes, row);
+    }
+
+    /// `row[lane] = Σ_gates contributions[gate][lane]`, gate by gate in
+    /// netlist order — the one accumulation order every leakage path in the
+    /// workspace shares.
+    fn sum_contributions(&self, lanes: usize, row: &mut Vec<f64>) {
+        row.clear();
+        row.resize(lanes, 0.0);
+        for gate_index in 0..self.netlist.gate_count() {
+            let slot = gate_index * 64;
+            for (total, &contribution) in
+                row.iter_mut().zip(&self.contributions[slot..slot + lanes])
+            {
+                *total += contribution;
             }
         }
     }
@@ -712,6 +923,60 @@ mod tests {
             scalar_average.average_na().to_bits(),
             "packed static average must be bit-identical to the scalar path"
         );
+    }
+
+    /// The event-driven delta observer (`observe_cycle` fed by the
+    /// event-driven replay's changed-net lists) must reproduce the scalar
+    /// observer's static-power average **bit for bit** — across full and
+    /// partial blocks, X-carrying patterns, low-activity (forced/held)
+    /// configurations, and both lookup modes — and so must the full-sweep
+    /// cross-check.
+    #[test]
+    fn event_driven_delta_observer_matches_scalar_observer_bitwise() {
+        use scanpower_sim::patterns::random_bool_patterns;
+        use scanpower_sim::scan::{ScanPattern, ScanShiftSim, ShiftConfig};
+        use scanpower_sim::{PackedScanShiftSim, Propagation};
+
+        let n = bench::parse(bench::S27_BENCH, "s27").unwrap();
+        let library = LeakageLibrary::cmos45();
+        let pi = n.primary_inputs().len();
+        let ff = n.dff_count();
+        let patterns: Vec<ScanPattern> = random_bool_patterns(pi + ff, 70, 17)
+            .into_iter()
+            .map(|bits| ScanPattern::from_bools(&bits[..pi], &bits[pi..]))
+            .collect();
+
+        // Traditional (high-activity) and a held-PI, partially forced
+        // (low-activity) configuration: the delta path must agree on both.
+        let mut low_activity = ShiftConfig::with_pi_control(ff, vec![Logic::Zero; pi]);
+        low_activity.forced_pseudo[0] = Some(Logic::One);
+        for config in [ShiftConfig::traditional(ff), low_activity] {
+            for lookup in [LeakageLookup::LaneParallel, LeakageLookup::Scalar] {
+                let estimator = LeakageEstimator::with_lookup(&n, &library, lookup);
+
+                let mut scalar_average = LeakageAverage::new();
+                ScanShiftSim::new(&n).run_with_observer(&n, &patterns, &config, |phase, values| {
+                    if phase == ShiftPhase::Shift {
+                        scalar_average.add(estimator.circuit_leakage(&n, values));
+                    }
+                });
+
+                let sim = PackedScanShiftSim::new(&n);
+                for propagation in [Propagation::EventDriven, Propagation::FullSweep] {
+                    let mut observer = PackedShiftLeakage::new(&n, &estimator);
+                    let _ = sim.run_cycles(&n, &patterns, &config, propagation, |cycle| {
+                        observer.observe_cycle(cycle);
+                    });
+                    let average = observer.into_average();
+                    assert_eq!(average.samples(), scalar_average.samples());
+                    assert_eq!(
+                        average.average_na().to_bits(),
+                        scalar_average.average_na().to_bits(),
+                        "{propagation:?} / {lookup:?} average must be bit-identical"
+                    );
+                }
+            }
+        }
     }
 
     /// Randomized agreement sweep for the lane-parallel lookup: every

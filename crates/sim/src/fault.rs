@@ -9,7 +9,7 @@
 //! the flip-flop D inputs (full-scan observation).
 //!
 //! Simulation is bit-parallel through the shared
-//! [`SimKernel`](crate::SimKernel): 64 patterns are evaluated per
+//! [`SimKernel`]: 64 patterns are evaluated per
 //! topological pass using one [`PackedWord`] per net, for the fault-free
 //! circuit and for every fault's fanout-cone overlay alike.
 

@@ -1,22 +1,24 @@
-use std::collections::BTreeSet;
-
 use scanpower_netlist::{NetId, Netlist};
 
 use crate::eval::Evaluator;
-use crate::kernel;
+use crate::kernel::DirtyWorklist;
 use crate::logic::Logic;
 
 /// Event-driven incremental simulator.
 ///
 /// The simulator keeps the current value of every net and, when a set of
-/// inputs changes, re-evaluates only the gates reachable from the changes (in
-/// topological order), returning exactly the nets that toggled. Scan-shift
-/// power analysis uses this to count transitions over thousands of shift
-/// cycles without re-simulating the whole circuit each cycle.
+/// inputs changes, re-evaluates only the gates reachable from the changes
+/// (level by level, through the kernel's
+/// [`propagate_from`](crate::SimKernel::propagate_from) engine — the same
+/// one the packed event-driven scan replay runs on), returning exactly the
+/// nets that toggled. Scan-shift power analysis uses this to count
+/// transitions over thousands of shift cycles without re-simulating the
+/// whole circuit each cycle.
 #[derive(Debug, Clone)]
 pub struct IncrementalSim {
     values: Vec<Logic>,
     evaluator: Evaluator,
+    worklist: DirtyWorklist,
 }
 
 impl IncrementalSim {
@@ -32,7 +34,12 @@ impl IncrementalSim {
     pub fn new(netlist: &Netlist, input_values: &[Logic]) -> IncrementalSim {
         let evaluator = Evaluator::new(netlist);
         let values = evaluator.evaluate(netlist, input_values);
-        IncrementalSim { values, evaluator }
+        let worklist = evaluator.kernel().make_worklist();
+        IncrementalSim {
+            values,
+            evaluator,
+            worklist,
+        }
     }
 
     /// Current value of every net, indexed by [`NetId::index`].
@@ -63,31 +70,22 @@ impl IncrementalSim {
     pub fn apply(&mut self, netlist: &Netlist, changes: &[(NetId, Logic)]) -> Vec<NetId> {
         let kernel_ref = self.evaluator.kernel();
         let mut toggled = Vec::new();
-        let mut worklist: BTreeSet<(usize, u32)> = BTreeSet::new();
 
         for &(net, value) in changes {
             if self.values[net.index()] != value {
                 self.values[net.index()] = value;
                 toggled.push(net);
-                for &(gate, _) in netlist.loads(net) {
-                    worklist.insert((kernel_ref.position_of(gate), gate.index() as u32));
-                }
+                kernel_ref.mark_net_changed(net, &mut self.worklist);
             }
         }
-
-        while let Some(&(pos, gate_index)) = worklist.iter().next() {
-            worklist.remove(&(pos, gate_index));
-            let gate = netlist.gate(scanpower_netlist::GateId::from_index(gate_index as usize));
-            let new_value = kernel::eval_gate_at(gate.kind, &gate.inputs, &self.values);
-            let output = gate.output;
-            if self.values[output.index()] != new_value {
-                self.values[output.index()] = new_value;
-                toggled.push(output);
-                for &(load, _) in netlist.loads(output) {
-                    worklist.insert((kernel_ref.position_of(load), load.index() as u32));
-                }
-            }
-        }
+        kernel_ref.propagate_from(
+            netlist,
+            &mut self.values,
+            &mut self.worklist,
+            |net, _, _| {
+                toggled.push(net);
+            },
+        );
         toggled
     }
 

@@ -463,19 +463,62 @@ pub fn lane_state_indices(pins: &[PackedWord], lanes: usize, indices: &mut [u32;
     }
 }
 
+/// Reusable scratch state of the event-driven [`SimKernel::propagate_from`]
+/// path: one dirty-gate bucket per logic level plus an epoch-stamped
+/// membership test, so marking a gate twice in a cycle costs one comparison
+/// and clearing the structure between cycles costs nothing.
+///
+/// Build one with [`SimKernel::make_worklist`] and reuse it across cycles —
+/// the buckets keep their capacity, so the steady state allocates nothing.
+/// A worklist is tied to the kernel (and therefore netlist shape) it was
+/// built for.
+#[derive(Debug, Clone)]
+pub struct DirtyWorklist {
+    /// Current marking epoch; bumped at the end of every
+    /// [`SimKernel::propagate_from`] pass.
+    epoch: u64,
+    /// Per gate: the epoch the gate was last marked dirty in.
+    stamp: Vec<u64>,
+    /// Per level: the gates marked dirty at that level, in marking order.
+    buckets: Vec<Vec<u32>>,
+}
+
+impl DirtyWorklist {
+    /// `true` when no gate is currently marked dirty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.buckets.iter().all(Vec::is_empty)
+    }
+}
+
 /// Zero-delay evaluation engine for the combinational part of a netlist,
 /// generic over the number of circuit states evaluated per pass.
 ///
 /// The kernel caches the topological order of the gates, the positions of
-/// the gates inside it (used by the event-driven simulator to order its
-/// worklist), the combinational-input mapping, and owns a reusable per-net
-/// value buffer. It borrows nothing, so one kernel can serve any number of
-/// evaluations as long as the netlist structure does not change; rebuild it
-/// after structural edits such as MUX insertion.
+/// the gates inside it (used by the event-driven simulators to order their
+/// worklists), the per-gate logic levels and the net→gate fanout map (the
+/// event-driven [`SimKernel::propagate_from`] path), the
+/// combinational-input mapping, and owns a reusable per-net value buffer.
+/// It borrows nothing, so one kernel can serve any number of evaluations as
+/// long as the netlist structure does not change; rebuild it after
+/// structural edits such as MUX insertion.
 #[derive(Debug, Clone)]
 pub struct SimKernel<W: LogicWord> {
     order: Vec<GateId>,
     position: Vec<usize>,
+    /// Per gate: logic level (0 = fed by sources only). Every gate's level
+    /// is strictly greater than the level of every gate in its fanin cone,
+    /// so processing dirty gates level by level visits each at most once,
+    /// after all of its inputs settled.
+    level: Vec<u32>,
+    /// Number of distinct levels (max level + 1).
+    levels: usize,
+    /// CSR net→gate fanout: gates reading net `n` are
+    /// `fanout_gates[fanout_start[n]..fanout_start[n + 1]]` (a gate reading
+    /// the same net on several pins appears once per pin; the epoch stamp in
+    /// [`DirtyWorklist`] deduplicates the marks).
+    fanout_start: Vec<u32>,
+    fanout_gates: Vec<u32>,
     inputs: Vec<NetId>,
     net_count: usize,
     values: Vec<W>,
@@ -495,9 +538,51 @@ impl<W: LogicWord> SimKernel<W> {
         for (index, gate) in order.iter().enumerate() {
             position[gate.index()] = index;
         }
+        // Logic levels: source nets sit at level 0, a gate at the maximum
+        // of its input-net levels, its output net one above the gate.
+        let mut net_level = vec![0u32; netlist.net_count()];
+        let mut level = vec![0u32; netlist.gate_count()];
+        for &gate_id in &order {
+            let gate = netlist.gate(gate_id);
+            let gate_level = gate
+                .inputs
+                .iter()
+                .map(|input| net_level[input.index()])
+                .max()
+                .unwrap_or(0);
+            level[gate_id.index()] = gate_level;
+            net_level[gate.output.index()] = gate_level + 1;
+        }
+        let levels = level
+            .iter()
+            .max()
+            .map_or(0, |&deepest| deepest as usize + 1);
+        // CSR fanout map (net → reading gates), in (net, pin) order.
+        let mut fanout_start = vec![0u32; netlist.net_count() + 1];
+        for gate in netlist.gates() {
+            for input in &gate.inputs {
+                fanout_start[input.index() + 1] += 1;
+            }
+        }
+        for index in 1..fanout_start.len() {
+            fanout_start[index] += fanout_start[index - 1];
+        }
+        let mut fanout_gates = vec![0u32; *fanout_start.last().unwrap_or(&0) as usize];
+        let mut cursor = fanout_start.clone();
+        for (gate_index, gate) in netlist.gates().iter().enumerate() {
+            for input in &gate.inputs {
+                let slot = cursor[input.index()];
+                fanout_gates[slot as usize] = u32::try_from(gate_index).expect("gate index");
+                cursor[input.index()] = slot + 1;
+            }
+        }
         SimKernel {
             order,
             position,
+            level,
+            levels,
+            fanout_start,
+            fanout_gates,
             inputs: netlist.combinational_inputs(),
             net_count: netlist.net_count(),
             values: Vec::new(),
@@ -559,6 +644,112 @@ impl<W: LogicWord> SimKernel<W> {
             let gate = netlist.gate(gate_id);
             values[gate.output.index()] = eval_gate_at(gate.kind, &gate.inputs, values);
         }
+    }
+
+    /// Creates an empty [`DirtyWorklist`] sized for this kernel. Reuse the
+    /// worklist across [`SimKernel::propagate_from`] calls — it keeps its
+    /// bucket capacity, so steady-state event-driven cycles allocate
+    /// nothing.
+    #[must_use]
+    pub fn make_worklist(&self) -> DirtyWorklist {
+        DirtyWorklist {
+            epoch: 1,
+            stamp: vec![0; self.position.len()],
+            buckets: vec![Vec::new(); self.levels],
+        }
+    }
+
+    /// Marks every gate reading `net` dirty, seeding the next
+    /// [`SimKernel::propagate_from`] pass. Call this after changing a source
+    /// net's value in the buffer; marks accumulate until the next
+    /// `propagate_from` consumes them.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `worklist` was built for a different
+    /// kernel.
+    pub fn mark_net_changed(&self, net: NetId, worklist: &mut DirtyWorklist) {
+        debug_assert_eq!(
+            worklist.stamp.len(),
+            self.position.len(),
+            "worklist was built for a different kernel"
+        );
+        let start = self.fanout_start[net.index()] as usize;
+        let end = self.fanout_start[net.index() + 1] as usize;
+        for &gate_index in &self.fanout_gates[start..end] {
+            let slot = &mut worklist.stamp[gate_index as usize];
+            if *slot != worklist.epoch {
+                *slot = worklist.epoch;
+                worklist.buckets[self.level[gate_index as usize] as usize].push(gate_index);
+            }
+        }
+    }
+
+    /// Event-driven (incremental) propagation: re-evaluates **only** the
+    /// gates marked dirty in `worklist` (seeded with
+    /// [`SimKernel::mark_net_changed`]), level by level, marking the readers
+    /// of every output that actually changed. `on_change(net, old, new)` is
+    /// invoked once for every driven net whose value changed — the hook the
+    /// packed scan replay uses to count toggles and collect the changed-net
+    /// list for its observer.
+    ///
+    /// Starting from a settled value buffer (one a full
+    /// [`SimKernel::propagate`] pass would leave unchanged), the buffer is
+    /// settled again on return and **exactly equal** — every lane of every
+    /// net — to what the full pass would have produced, because a gate none
+    /// of whose input words changed re-evaluates to the identical output
+    /// word. Change detection is whole-word (`!=` over all lanes), never
+    /// masked, precisely to preserve that invariant.
+    ///
+    /// The worklist is drained and ready for the next cycle on return.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is shorter than the number of nets or `netlist`
+    /// does not match the kernel (as in [`SimKernel::propagate`]), or (in
+    /// debug builds) if `worklist` was built for a different kernel.
+    pub fn propagate_from<F>(
+        &self,
+        netlist: &Netlist,
+        values: &mut [W],
+        worklist: &mut DirtyWorklist,
+        mut on_change: F,
+    ) where
+        F: FnMut(NetId, W, W),
+    {
+        assert!(values.len() >= self.net_count, "value buffer too small");
+        assert!(
+            netlist.net_count() == self.net_count && netlist.gate_count() == self.position.len(),
+            "netlist does not match the one the kernel was built for; \
+             rebuild the kernel after structural edits"
+        );
+        debug_assert_eq!(
+            worklist.stamp.len(),
+            self.position.len(),
+            "worklist was built for a different kernel"
+        );
+        for level in 0..worklist.buckets.len() {
+            if worklist.buckets[level].is_empty() {
+                continue;
+            }
+            // Take the bucket out so downstream marks (always at strictly
+            // higher levels) can borrow the worklist.
+            let mut bucket = std::mem::take(&mut worklist.buckets[level]);
+            for &gate_index in &bucket {
+                let gate = netlist.gate(GateId::from_index(gate_index as usize));
+                let new = eval_gate_at(gate.kind, &gate.inputs, values);
+                let old = values[gate.output.index()];
+                if new != old {
+                    values[gate.output.index()] = new;
+                    on_change(gate.output, old, new);
+                    self.mark_net_changed(gate.output, worklist);
+                }
+            }
+            bucket.clear();
+            debug_assert!(worklist.buckets[level].is_empty(), "marks must go forward");
+            worklist.buckets[level] = bucket; // keep the capacity
+        }
+        worklist.epoch += 1;
     }
 
     /// Evaluates the circuit from a complete assignment of the combinational
@@ -832,6 +1023,111 @@ mod tests {
         assert_eq!(words[1].ones(), 0b100);
         // Lanes beyond the block are unknown.
         assert_eq!(words[0].lane(3), Logic::X);
+    }
+
+    /// Random input flips propagated event-driven must leave the buffer
+    /// exactly equal to a full sweep, and `on_change` must report exactly
+    /// the driven nets that differ.
+    #[test]
+    fn propagate_from_matches_full_propagate_on_s27() {
+        let netlist = bench::parse(bench::S27_BENCH, "s27").unwrap();
+        let kernel = SimKernel::<PackedWord>::new(&netlist);
+        let mut reference = SimKernel::<PackedWord>::new(&netlist);
+        let mut worklist = kernel.make_worklist();
+        let width = kernel.inputs().len();
+
+        // Deterministic pseudo-random input words.
+        let mut seed = 0x1234_5678_9abc_def0u64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        let mut inputs: Vec<PackedWord> = (0..width)
+            .map(|_| PackedWord::from_planes(next() | u64::MAX << 32, next() | u64::MAX >> 32))
+            .collect();
+        let mut values = reference.evaluate(&netlist, &inputs).to_vec();
+
+        for round in 0..50 {
+            // Flip a random subset of inputs (sometimes none).
+            for (slot, &net) in inputs.iter_mut().zip(kernel.inputs()) {
+                if next() % 3 == 0 {
+                    let flipped =
+                        PackedWord::from_planes(next() | u64::MAX << 32, next() | u64::MAX >> 32);
+                    *slot = flipped;
+                    if values[net.index()] != flipped {
+                        values[net.index()] = flipped;
+                        kernel.mark_net_changed(net, &mut worklist);
+                    }
+                }
+            }
+            let mut changed = Vec::new();
+            kernel.propagate_from(&netlist, &mut values, &mut worklist, |net, old, new| {
+                assert_ne!(old, new, "round {round}: spurious change report");
+                changed.push(net);
+            });
+            assert!(worklist.is_empty(), "round {round}: worklist must drain");
+
+            let full = reference.evaluate(&netlist, &inputs);
+            for net in netlist.net_ids() {
+                assert_eq!(
+                    values[net.index()],
+                    full[net.index()],
+                    "round {round}: net {} diverged",
+                    netlist.net(net).name
+                );
+            }
+            // Each changed net is reported at most once.
+            let mut sorted = changed.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(
+                sorted.len(),
+                changed.len(),
+                "round {round}: duplicate report"
+            );
+        }
+    }
+
+    /// With no marked nets, `propagate_from` must evaluate nothing.
+    #[test]
+    fn propagate_from_without_marks_is_a_no_op() {
+        let netlist = bench::parse(bench::S27_BENCH, "s27").unwrap();
+        let mut kernel = SimKernel::<Logic>::new(&netlist);
+        let width = kernel.inputs().len();
+        let mut values = kernel.evaluate(&netlist, &vec![Logic::One; width]).to_vec();
+        let snapshot = values.clone();
+        let mut worklist = kernel.make_worklist();
+        assert!(worklist.is_empty());
+        kernel.propagate_from(&netlist, &mut values, &mut worklist, |net, _, _| {
+            panic!("nothing changed, yet net {net} was reported");
+        });
+        assert_eq!(values, snapshot);
+    }
+
+    /// Re-marking an input with an unchanged value must not ripple: the
+    /// loaded gates re-evaluate to identical outputs and propagation stops.
+    #[test]
+    fn propagate_from_stops_at_unchanged_outputs() {
+        let mut n = Netlist::new("t");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let g = n.add_gate(GateKind::Nand, &[a, b], "g");
+        let h = n.add_gate(GateKind::Not, &[g.output], "h");
+        n.mark_output(h.output);
+        let mut kernel = SimKernel::<Logic>::new(&n);
+        let mut values = kernel.evaluate(&n, &[Logic::Zero, Logic::Zero]).to_vec();
+        let mut worklist = kernel.make_worklist();
+        // b: 0 -> 1 with a = 0 — the NAND stays 1, nothing downstream moves.
+        values[b.index()] = Logic::One;
+        kernel.mark_net_changed(b, &mut worklist);
+        let mut changed = Vec::new();
+        kernel.propagate_from(&n, &mut values, &mut worklist, |net, _, _| {
+            changed.push(net)
+        });
+        assert!(changed.is_empty(), "blocked transition must not propagate");
+        assert_eq!(values[g.output.index()], Logic::One);
     }
 
     #[test]

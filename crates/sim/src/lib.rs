@@ -21,8 +21,10 @@
 //! * [`scan_packed`] — the packed 64-pattern scan-shift replay
 //!   ([`scan_packed::PackedScanShiftSim`]): one kernel pass per shift cycle
 //!   evaluates 64 patterns' circuit states at once, with popcount-based
-//!   transition counting and a lane-aware observer; bit-identical
-//!   [`scan::ShiftStats`] to the scalar replay.
+//!   transition counting and a lane-aware observer; event-driven by default
+//!   ([`scan_packed::Propagation`]), re-evaluating only the fanout cones of
+//!   the nets each cycle actually changed; bit-identical
+//!   [`scan::ShiftStats`] to the scalar replay in either mode.
 //! * [`fault`] — 64-pattern-per-pass stuck-at fault simulation used by the
 //!   ATPG substitute.
 //! * [`parallel`] — the [`BlockDriver`]: deterministic sharding of
@@ -77,7 +79,7 @@ pub mod scan_packed;
 
 pub use eval::Evaluator;
 pub use incremental::IncrementalSim;
-pub use kernel::{LogicWord, PackedWord, SimKernel};
+pub use kernel::{DirtyWorklist, LogicWord, PackedWord, SimKernel};
 pub use logic::Logic;
 pub use parallel::BlockDriver;
-pub use scan_packed::PackedScanShiftSim;
+pub use scan_packed::{PackedScanShiftSim, Propagation, ShiftCycle};

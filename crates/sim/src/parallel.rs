@@ -18,7 +18,7 @@
 //!   closures run inline on the caller's thread, no worker is spawned;
 //! * default — sharding over [`std::thread::scope`] workers pulling jobs
 //!   from an atomic counter;
-//! * `parallel-rayon` feature — recursive [`rayon::join`] splitting (the
+//! * `parallel-rayon` feature — recursive `rayon::join` splitting (the
 //!   offline build vendors a stand-in; against real rayon the driver
 //!   inherits its pool).
 //!

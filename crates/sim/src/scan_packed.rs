@@ -22,14 +22,75 @@
 //! [`ShiftStats`] are **bit-identical** to [`ScanShiftSim::run`] — the
 //! agreement is pinned by tests at both the crate and the suite level.
 //!
+//! On top of the lane parallelism the replay is **event-driven by default**
+//! ([`Propagation::EventDriven`]): consecutive shift cycles change only the
+//! rippled chain cells, so instead of a full topological pass the replay
+//! seeds a dirty-gate worklist with the inputs whose packed word actually
+//! moved and lets [`SimKernel::propagate_from`] re-evaluate just their
+//! fanout cones. Because change detection is whole-word, the settled state
+//! is *exactly* the full sweep's state in every lane — the full-sweep mode
+//! survives as a CI-exercised cross-check, and [`ShiftCycle::changed`]
+//! hands incremental observers the per-cycle delta.
+//!
 //! [`ScanShiftSim::run`]: crate::scan::ScanShiftSim::run
 
 use scanpower_netlist::{NetId, Netlist};
 
-use crate::kernel::{LogicWord, PackedWord, SimKernel};
+use crate::kernel::{DirtyWorklist, LogicWord, PackedWord, SimKernel};
 use crate::logic::Logic;
 use crate::parallel::BLOCK_LANES;
 use crate::scan::{ScanPattern, ShiftConfig, ShiftPhase, ShiftStats};
+
+/// How [`PackedScanShiftSim`] propagates each shift cycle through the
+/// combinational logic. Both modes settle every net to **exactly** the same
+/// packed word, so stats and observed states are bit-identical; the modes
+/// differ only in how much work a low-activity cycle costs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum Propagation {
+    /// Event-driven (the default): each cycle seeds a dirty-gate worklist
+    /// with the nets that actually changed — the rippled chain cells, and
+    /// the primary inputs on the first cycle of a block — and re-evaluates
+    /// only the fanout cones of those changes
+    /// ([`SimKernel::propagate_from`]). Cycles whose changes are blocked
+    /// close to the chain (forced pseudo-inputs, PI control values, a chain
+    /// shifting a constant) cost almost nothing.
+    #[default]
+    EventDriven,
+    /// One full topological pass per shift cycle (the pre-event-driven
+    /// behaviour). Kept as the cross-check configuration — CI replays the
+    /// suite with it — and as the measuring stick in the `scan_shift`
+    /// bench's `event_driven` group.
+    FullSweep,
+}
+
+/// One observed state of the packed scan replay, as handed to the
+/// [`PackedScanShiftSim::run_cycles`] observer.
+///
+/// Lane `k` of every word in [`values`](ShiftCycle::values) is the state of
+/// the block's pattern `k` at this cycle; lanes at or beyond
+/// [`lanes`](ShiftCycle::lanes) are unspecified. Events arrive cycle-major
+/// per ≤64-pattern block: `chain_len` [`ShiftPhase::Shift`] states followed
+/// by exactly one [`ShiftPhase::Capture`] state, which also marks the end
+/// of the block.
+#[derive(Debug, Clone, Copy)]
+pub struct ShiftCycle<'a> {
+    /// Which phase of the scan protocol this state belongs to.
+    pub phase: ShiftPhase,
+    /// One settled [`PackedWord`] per net, indexed by [`NetId::index`].
+    pub values: &'a [PackedWord],
+    /// Number of active lanes (patterns) in the current block.
+    pub lanes: usize,
+    /// The nets whose packed word differs from the **previous
+    /// [`ShiftPhase::Shift`] event** of the same replay, each listed once —
+    /// `None` when that delta is not available (full-sweep propagation,
+    /// every [`ShiftPhase::Capture`] event, and the first shift cycle of
+    /// each block, whose state is rebuilt from the block's capture pass
+    /// rather than rippled from the previous block), in which case
+    /// consumers must assume every net changed. Incremental observers (the
+    /// static-power delta gather) re-derive their per-gate work from this
+    /// list.
+    pub changed: Option<&'a [NetId]>,
+}
 
 /// Packed test-per-scan shift simulator: up to 64 patterns per pass.
 ///
@@ -58,6 +119,30 @@ impl PackedScanShiftSim {
 
     /// Runs the scan protocol over `patterns` and returns transition counts.
     ///
+    /// Uses the default [`Propagation::EventDriven`] mode; the bit-identical
+    /// full-sweep cross-check is available through
+    /// [`PackedScanShiftSim::run_cycles`].
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use scanpower_netlist::bench;
+    /// use scanpower_sim::scan::{ScanPattern, ScanShiftSim, ShiftConfig};
+    /// use scanpower_sim::PackedScanShiftSim;
+    ///
+    /// let circuit = bench::parse(bench::S27_BENCH, "s27")?;
+    /// let patterns = vec![
+    ///     ScanPattern::from_bools(&[true, false, true, false], &[true, false, true]),
+    ///     ScanPattern::from_bools(&[false, true, false, true], &[false, true, true]),
+    /// ];
+    /// let config = ShiftConfig::traditional(circuit.dff_count());
+    /// let stats = PackedScanShiftSim::new(&circuit).run(&circuit, &patterns, &config);
+    /// // Bit-identical to the scalar pattern-at-a-time replay.
+    /// assert_eq!(stats, ScanShiftSim::new(&circuit).run(&circuit, &patterns, &config));
+    /// assert_eq!(stats.shift_cycles, patterns.len() * circuit.dff_count());
+    /// # Ok::<(), scanpower_netlist::NetlistError>(())
+    /// ```
+    ///
     /// # Panics
     ///
     /// Panics if a pattern's widths or the configuration's widths do not
@@ -69,23 +154,22 @@ impl PackedScanShiftSim {
         patterns: &[ScanPattern],
         config: &ShiftConfig,
     ) -> ShiftStats {
-        self.run_with_observer(netlist, patterns, config, |_, _, _| {})
+        self.run_cycles(netlist, patterns, config, Propagation::default(), |_| {})
     }
 
     /// Runs the scan protocol, handing every visited *packed* circuit state
     /// to `observer` without unpacking to scalar [`Logic`] per cycle.
     ///
     /// The observer receives the phase, one settled [`PackedWord`] per net
-    /// (indexed by [`NetId::index`]) and the number of active lanes. Lane
-    /// `k` of a word is the state of the block's pattern `k` at that cycle;
-    /// lanes at or beyond the active count are unspecified. Events arrive
-    /// cycle-major per ≤64-pattern block: `chain_len` [`ShiftPhase::Shift`]
-    /// states (all active patterns advance one shift cycle per event)
-    /// followed by exactly one [`ShiftPhase::Capture`] state, which also
-    /// marks the end of the block. Observers that must reproduce the scalar
-    /// simulator's pattern-major visit order (e.g. an order-sensitive
-    /// floating-point accumulation) can buffer the per-cycle lane values of
-    /// a block and flush them lane-first on the capture event.
+    /// (indexed by [`NetId::index`]) and the number of active lanes, with
+    /// the event ordering documented on [`ShiftCycle`]. Observers that must
+    /// reproduce the scalar simulator's pattern-major visit order (e.g. an
+    /// order-sensitive floating-point accumulation) can buffer the
+    /// per-cycle lane values of a block and flush them lane-first on the
+    /// capture event. Observers that can exploit the per-cycle changed-net
+    /// delta should use [`PackedScanShiftSim::run_cycles`] instead; this
+    /// wrapper runs the default [`Propagation::EventDriven`] mode and drops
+    /// the delta.
     ///
     /// # Panics
     ///
@@ -100,6 +184,41 @@ impl PackedScanShiftSim {
     ) -> ShiftStats
     where
         F: FnMut(ShiftPhase, &[PackedWord], usize),
+    {
+        self.run_cycles(netlist, patterns, config, Propagation::default(), |cycle| {
+            observer(cycle.phase, cycle.values, cycle.lanes);
+        })
+    }
+
+    /// Runs the scan protocol with an explicit [`Propagation`] mode, handing
+    /// every visited state to `observer` as a [`ShiftCycle`] — the full
+    /// replay entry point behind [`PackedScanShiftSim::run`] and
+    /// [`PackedScanShiftSim::run_with_observer`].
+    ///
+    /// Under [`Propagation::EventDriven`] each shift cycle carries the list
+    /// of nets that changed since the previous shift event (see
+    /// [`ShiftCycle::changed`]), which incremental observers such as
+    /// `scanpower_power::PackedShiftLeakage` use to re-gather only the
+    /// gates whose input state moved. Under [`Propagation::FullSweep`]
+    /// every cycle is a full topological pass and `changed` is always
+    /// `None`. The returned [`ShiftStats`] and every observed state are
+    /// **bit-identical** between the two modes (and to the scalar
+    /// [`ScanShiftSim`](crate::scan::ScanShiftSim)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a pattern's widths or the configuration's widths do not
+    /// match the circuit, or if the combinational part is cyclic.
+    pub fn run_cycles<F>(
+        &self,
+        netlist: &Netlist,
+        patterns: &[ScanPattern],
+        config: &ShiftConfig,
+        propagation: Propagation,
+        mut observer: F,
+    ) -> ShiftStats
+    where
+        F: FnMut(&ShiftCycle<'_>),
     {
         let chain_len = self.pseudo_nets.len();
         let pi_count = self.pi_nets.len();
@@ -159,6 +278,9 @@ impl PackedScanShiftSim {
             .iter()
             .map(|forced| forced.map(PackedWord::splat))
             .collect();
+        // Event-driven scratch, reused across cycles and blocks.
+        let mut worklist = kernel.make_worklist();
+        let mut changed: Vec<NetId> = Vec::new();
 
         for chunk in patterns.chunks(BLOCK_LANES) {
             let lanes = chunk.len();
@@ -233,22 +355,97 @@ impl PackedScanShiftSim {
                 }
                 chain[0] = incoming;
 
-                for ((slot, &cell), forced) in
-                    inputs[pi_count..].iter_mut().zip(&chain).zip(&forced)
-                {
-                    *slot = forced.unwrap_or(cell);
-                }
-                let values = kernel.evaluate(netlist, &inputs);
-                for ((toggle, &now), then) in toggles.iter_mut().zip(values).zip(prev.iter_mut()) {
-                    let diff = now.differs(*then) & mask;
-                    if diff != 0 {
-                        let count = u64::from(diff.count_ones());
-                        *toggle += count;
-                        total += count;
+                match propagation {
+                    Propagation::FullSweep => {
+                        for ((slot, &cell), forced) in
+                            inputs[pi_count..].iter_mut().zip(&chain).zip(&forced)
+                        {
+                            *slot = forced.unwrap_or(cell);
+                        }
+                        let values = kernel.evaluate(netlist, &inputs);
+                        for ((toggle, &now), then) in
+                            toggles.iter_mut().zip(values).zip(prev.iter_mut())
+                        {
+                            let diff = now.differs(*then) & mask;
+                            if diff != 0 {
+                                let count = u64::from(diff.count_ones());
+                                *toggle += count;
+                                total += count;
+                            }
+                            *then = now;
+                        }
+                        observer(&ShiftCycle {
+                            phase: ShiftPhase::Shift,
+                            values,
+                            lanes,
+                            changed: None,
+                        });
                     }
-                    *then = now;
+                    Propagation::EventDriven => {
+                        // `prev` is the settled previous state: seed only
+                        // the inputs whose word actually moved — the
+                        // rippled (unforced) chain cells, plus the primary
+                        // inputs on the block's first cycle (their words
+                        // are per-block constants, so later cycles cannot
+                        // move them) — then let the kernel re-evaluate
+                        // their fanout cones.
+                        changed.clear();
+                        if cycle == 0 {
+                            for (&net, &word) in self.pi_nets.iter().zip(&inputs[..pi_count]) {
+                                seed_changed_input(
+                                    &kernel,
+                                    net,
+                                    word,
+                                    mask,
+                                    &mut prev,
+                                    &mut worklist,
+                                    &mut changed,
+                                    &mut toggles,
+                                    &mut total,
+                                );
+                            }
+                        }
+                        for ((&net, &cell), forced) in
+                            self.pseudo_nets.iter().zip(&chain).zip(&forced)
+                        {
+                            let word = forced.unwrap_or(cell);
+                            seed_changed_input(
+                                &kernel,
+                                net,
+                                word,
+                                mask,
+                                &mut prev,
+                                &mut worklist,
+                                &mut changed,
+                                &mut toggles,
+                                &mut total,
+                            );
+                        }
+                        kernel.propagate_from(
+                            netlist,
+                            &mut prev,
+                            &mut worklist,
+                            |net, old, new| {
+                                let diff = new.differs(old) & mask;
+                                if diff != 0 {
+                                    let count = u64::from(diff.count_ones());
+                                    toggles[net.index()] += count;
+                                    total += count;
+                                }
+                                changed.push(net);
+                            },
+                        );
+                        observer(&ShiftCycle {
+                            phase: ShiftPhase::Shift,
+                            values: &prev,
+                            lanes,
+                            // The first cycle's delta is relative to the
+                            // block's rebuilt base state, not the previous
+                            // shift event — observers must not trust it.
+                            changed: if cycle == 0 { None } else { Some(&changed) },
+                        });
+                    }
                 }
-                observer(ShiftPhase::Shift, values, lanes);
             }
             shift_cycles += lanes * chain_len;
 
@@ -266,7 +463,12 @@ impl PackedScanShiftSim {
                     }
                 }
             }
-            observer(ShiftPhase::Capture, &capture_values, lanes);
+            observer(&ShiftCycle {
+                phase: ShiftPhase::Capture,
+                values: &capture_values,
+                lanes,
+                changed: None,
+            });
 
             // Carries for the next block: the last pattern's capture state
             // and captured response.
@@ -285,6 +487,39 @@ impl PackedScanShiftSim {
             total_toggles: total,
         }
     }
+}
+
+/// Applies one computed input word to the event-driven replay state: counts
+/// the masked toggle delta, overwrites the stored word, marks the net's
+/// readers dirty and records the net in the cycle's changed list — but only
+/// when the word actually differs (whole-word comparison, matching the
+/// change detection of [`SimKernel::propagate_from`], so the state buffer
+/// stays exactly equal to a full sweep in every lane).
+#[allow(clippy::too_many_arguments)]
+fn seed_changed_input(
+    kernel: &SimKernel<PackedWord>,
+    net: NetId,
+    word: PackedWord,
+    mask: u64,
+    prev: &mut [PackedWord],
+    worklist: &mut DirtyWorklist,
+    changed: &mut Vec<NetId>,
+    toggles: &mut [u64],
+    total: &mut u64,
+) {
+    let old = prev[net.index()];
+    if word == old {
+        return;
+    }
+    let diff = word.differs(old) & mask;
+    if diff != 0 {
+        let count = u64::from(diff.count_ones());
+        toggles[net.index()] += count;
+        *total += count;
+    }
+    prev[net.index()] = word;
+    kernel.mark_net_changed(net, worklist);
+    changed.push(net);
 }
 
 #[cfg(test)]
@@ -462,6 +697,164 @@ mod tests {
             patterns.len().div_ceil(64),
             "one capture per block"
         );
+    }
+
+    /// Both propagation modes against the scalar replay AND each other:
+    /// identical `ShiftStats`, and every observed state identical word for
+    /// word, with a `changed` list that is trustworthy when present.
+    fn assert_propagation_agreement(
+        netlist: &Netlist,
+        patterns: &[ScanPattern],
+        config: &ShiftConfig,
+    ) {
+        let sim = PackedScanShiftSim::new(netlist);
+        let mut sweep_states: Vec<(ShiftPhase, Vec<PackedWord>, usize)> = Vec::new();
+        let sweep_stats =
+            sim.run_cycles(netlist, patterns, config, Propagation::FullSweep, |cycle| {
+                assert!(cycle.changed.is_none(), "full sweep never claims a delta");
+                sweep_states.push((cycle.phase, cycle.values.to_vec(), cycle.lanes));
+            });
+
+        let mut index = 0usize;
+        let mut last_shift: Option<Vec<PackedWord>> = None;
+        let event_stats = sim.run_cycles(
+            netlist,
+            patterns,
+            config,
+            Propagation::EventDriven,
+            |cycle| {
+                let (phase, values, lanes) = &sweep_states[index];
+                assert_eq!(cycle.phase, *phase, "event {index}: phase");
+                assert_eq!(cycle.lanes, *lanes, "event {index}: lanes");
+                assert_eq!(cycle.values, values.as_slice(), "event {index}: values");
+                if let Some(changed) = cycle.changed {
+                    // The delta, when claimed, must cover exactly the nets
+                    // whose word moved since the previous shift event.
+                    let previous = last_shift.as_ref().expect("delta implies a prior shift");
+                    for net in netlist.net_ids() {
+                        let moved = cycle.values[net.index()] != previous[net.index()];
+                        assert_eq!(
+                            changed.contains(&net),
+                            moved,
+                            "event {index}: net {} delta",
+                            netlist.net(net).name
+                        );
+                    }
+                }
+                if cycle.phase == ShiftPhase::Shift {
+                    last_shift = Some(cycle.values.to_vec());
+                }
+                index += 1;
+            },
+        );
+        assert_eq!(index, sweep_states.len(), "event count");
+        assert_eq!(event_stats, sweep_stats);
+        assert_eq!(
+            event_stats,
+            ScanShiftSim::new(netlist).run(netlist, patterns, config)
+        );
+    }
+
+    /// Zero-activity cycles: every pattern shifts the same constant through
+    /// the chain under held PI control values, so after the first ripple
+    /// settles nothing changes — the event-driven replay must still report
+    /// the identical (all-zero-delta) states and stats.
+    #[test]
+    fn event_driven_handles_zero_activity_cycles() {
+        let n = s27();
+        let constant = ScanPattern {
+            pi: vec![Logic::Zero; n.primary_inputs().len()],
+            scan: vec![Logic::One; n.dff_count()],
+        };
+        let patterns = vec![constant; 70]; // full block + partial tail
+        let config = ShiftConfig::with_pi_control(
+            n.dff_count(),
+            vec![Logic::Zero; n.primary_inputs().len()],
+        );
+        assert_propagation_agreement(&n, &patterns, &config);
+
+        // Fully forced chain: the combinational part sees no shift activity
+        // at all; only the rippling pseudo-inputs themselves would toggle,
+        // and even those are forced here.
+        let mut frozen = config;
+        frozen.forced_pseudo = vec![Some(Logic::Zero); n.dff_count()];
+        assert_propagation_agreement(&n, &patterns, &frozen);
+    }
+
+    /// All-lanes-change cycles: alternating all-zero / all-one scan parts
+    /// flip every chain cell in every lane every cycle — the event-driven
+    /// worklist degenerates to the full sweep and must still agree.
+    #[test]
+    fn event_driven_handles_all_lanes_change_cycles() {
+        let n = s27();
+        let patterns: Vec<ScanPattern> = (0..66)
+            .map(|index| {
+                let bit = index % 2 == 0;
+                ScanPattern {
+                    pi: vec![Logic::from_bool(!bit); n.primary_inputs().len()],
+                    scan: vec![Logic::from_bool(bit); n.dff_count()],
+                }
+            })
+            .collect();
+        assert_propagation_agreement(&n, &patterns, &ShiftConfig::traditional(n.dff_count()));
+    }
+
+    /// X-churn: scan parts cycling 0 → X → 0 ripple X in and out of the
+    /// chain, so nets repeatedly change between known and unknown without
+    /// ever changing their known value — `differs` (X only equals X) must
+    /// drive the worklist, not the known bits.
+    #[test]
+    fn event_driven_handles_x_churn() {
+        let n = s27();
+        let patterns: Vec<ScanPattern> = (0..67)
+            .map(|index| {
+                let value = match index % 3 {
+                    0 => Logic::Zero,
+                    1 => Logic::X,
+                    _ => Logic::Zero,
+                };
+                ScanPattern {
+                    pi: vec![Logic::Zero; n.primary_inputs().len()],
+                    scan: vec![value; n.dff_count()],
+                }
+            })
+            .collect();
+        let config = ShiftConfig::with_pi_control(
+            n.dff_count(),
+            vec![Logic::Zero; n.primary_inputs().len()],
+        );
+        assert_propagation_agreement(&n, &patterns, &config);
+    }
+
+    /// Partial final blocks: pattern counts straddling the 64-lane block
+    /// size, with random ternary content, forced cells and capture
+    /// counting — the masked toggle counts and the unmasked change
+    /// detection must not disagree.
+    #[test]
+    fn event_driven_handles_partial_final_blocks() {
+        let n = s27();
+        for count in [1usize, 63, 64, 65, 129] {
+            let patterns = ternary_patterns_for(&n, count, count as u64);
+            let mut config = ShiftConfig::traditional(n.dff_count());
+            config.forced_pseudo[1] = Some(Logic::One);
+            config.count_capture = true;
+            assert_propagation_agreement(&n, &patterns, &config);
+        }
+    }
+
+    /// The generated-circuit sweep, under both propagation modes.
+    #[test]
+    fn event_driven_matches_full_sweep_on_a_generated_circuit() {
+        use scanpower_netlist::generator::CircuitFamily;
+        let circuit = CircuitFamily::iscas89_like("s344")
+            .unwrap()
+            .scaled(0.4)
+            .generate(2);
+        let patterns = ternary_patterns_for(&circuit, 80, 31);
+        let mut config = ShiftConfig::traditional(circuit.dff_count());
+        config.forced_pseudo[1] = Some(Logic::Zero);
+        config.count_capture = true;
+        assert_propagation_agreement(&circuit, &patterns, &config);
     }
 
     #[test]

@@ -14,6 +14,9 @@
 //! assert_eq!(spec.name(), "s344");
 //! ```
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub use scanpower_atpg as atpg;
 pub use scanpower_core as core;
 pub use scanpower_netlist as netlist;

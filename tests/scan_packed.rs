@@ -190,6 +190,61 @@ fn scalar_leakage_lookup_cross_check_is_bit_identical() {
     assert_eq!(slow, fast, "report must not depend on the lookup mode");
 }
 
+/// The full-sweep propagation cross-check
+/// (`ExperimentOptions::event_driven = false`): replaying every shift cycle
+/// as a full topological pass must reproduce the default event-driven
+/// replay bit for bit — `SchemePower`, `ShiftStats` and the full
+/// multi-circuit report across thread counts. CI runs this test by name so
+/// the full-sweep path cannot rot.
+#[test]
+fn full_sweep_propagation_cross_check_is_bit_identical() {
+    let circuit = generated_circuit();
+    let patterns = ternary_patterns(&circuit, 70, 0xeef);
+    let config = traditional_shift_config(&circuit);
+    let reference = CircuitExperiment::new(ExperimentOptions::fast());
+    assert!(
+        reference.options().event_driven,
+        "event-driven is the default"
+    );
+    let cross_check = CircuitExperiment::new(ExperimentOptions {
+        event_driven: false,
+        ..ExperimentOptions::fast()
+    });
+    let (reference_power, reference_stats) =
+        reference.evaluate_scheme_stats(&circuit, &patterns, &config);
+    let (cross_power, cross_stats) =
+        cross_check.evaluate_scheme_stats(&circuit, &patterns, &config);
+    assert_eq!(cross_stats, reference_stats);
+    assert_eq!(
+        cross_power.static_uw.to_bits(),
+        reference_power.static_uw.to_bits(),
+        "full sweep must match the event-driven replay bit for bit"
+    );
+    assert_eq!(cross_power, reference_power);
+
+    let specs = vec![
+        CircuitFamily::iscas89_like("s344").unwrap(),
+        CircuitFamily::iscas89_like("s382").unwrap(),
+    ];
+    let event_driven = run_table1(&specs, &ExperimentOptions::fast(), Some(0.3), 2);
+    for threads in [1, 3] {
+        let full_sweep = run_table1(
+            &specs,
+            &ExperimentOptions {
+                event_driven: false,
+                threads,
+                ..ExperimentOptions::fast()
+            },
+            Some(0.3),
+            2,
+        );
+        assert_eq!(
+            full_sweep, event_driven,
+            "threads {threads}: report must not depend on the propagation mode"
+        );
+    }
+}
+
 /// The full multi-circuit harness: one circuit per driver job, merged in
 /// circuit order — bit-identical for thread counts {1, 2, 3, 8, auto}, and
 /// identical between the packed and the scalar replay.

@@ -5,7 +5,9 @@
 //! leakage-lookup seam in isolation (scalar vs lane-parallel, ± X density),
 //! the packed propagation seam (`event_driven` group: full-sweep vs
 //! event-driven cycles, ± observer, on a high-activity traditional config
-//! and a low-activity held-PI/forced-chain config), plus the multi-circuit
+//! and a low-activity held-PI/forced-chain config), the lane-width seam
+//! (`wide_replay` group: the same 512-pattern replay in 64-, 256- and
+//! 512-lane blocks, bare and observer-attached), plus the multi-circuit
 //! Table I harness at 1 worker thread vs the automatic count. All
 //! comparisons are bit-identical by construction — asserted once before
 //! timing — so the bench measures speed only. A snapshot of the measured
@@ -22,7 +24,9 @@ use scanpower_power::{
 use scanpower_sim::kernel::pack_logic_patterns;
 use scanpower_sim::patterns::random_bool_patterns;
 use scanpower_sim::scan::{ScanPattern, ScanShiftSim, ShiftConfig, ShiftPhase};
-use scanpower_sim::{BlockDriver, Logic, PackedScanShiftSim, PackedWord, Propagation, SimKernel};
+use scanpower_sim::{
+    BlockDriver, Logic, PackedScanShiftSim, PackedWord, Propagation, SimKernel, Wide256, Wide512,
+};
 
 fn replay_patterns(
     circuit: &scanpower_netlist::Netlist,
@@ -224,6 +228,75 @@ fn scan_shift(c: &mut Criterion) {
             });
         }
     }
+    group.finish();
+
+    // The lane-width seam: the same event-driven replay at 64, 256 and 512
+    // lanes per word, bare and with the leakage observer attached. 512
+    // patterns fill eight 64-lane blocks, two 256-lane blocks or one
+    // 512-lane block, so the wide rows amortise the per-block chain seed
+    // and capture carry over more patterns per kernel pass.
+    let wide_patterns = replay_patterns(&circuit, 512, 13);
+    let reference = packed.run(&circuit, &wide_patterns, &config);
+    assert_eq!(
+        packed.run_wide::<Wide256>(&circuit, &wide_patterns, &config),
+        reference,
+        "256-lane replay must be bit-identical to the 64-lane replay"
+    );
+    assert_eq!(
+        packed.run_wide::<Wide512>(&circuit, &wide_patterns, &config),
+        reference,
+        "512-lane replay must be bit-identical to the 64-lane replay"
+    );
+    let mut group = c.benchmark_group("wide_replay");
+    group.sample_size(10);
+    group.bench_function("replay_512_lanes_64", |b| {
+        b.iter(|| packed.run(black_box(&circuit), &wide_patterns, &config));
+    });
+    group.bench_function("replay_512_lanes_256", |b| {
+        b.iter(|| packed.run_wide::<Wide256>(black_box(&circuit), &wide_patterns, &config));
+    });
+    group.bench_function("replay_512_lanes_512", |b| {
+        b.iter(|| packed.run_wide::<Wide512>(black_box(&circuit), &wide_patterns, &config));
+    });
+    group.bench_function("observer_512_lanes_64", |b| {
+        b.iter(|| {
+            let mut observer = PackedShiftLeakage::new(&circuit, &estimator);
+            let stats = packed.run_cycles(
+                black_box(&circuit),
+                &wide_patterns,
+                &config,
+                Propagation::EventDriven,
+                |cycle| observer.observe_cycle(cycle),
+            );
+            (stats, observer.into_average())
+        });
+    });
+    group.bench_function("observer_512_lanes_256", |b| {
+        b.iter(|| {
+            let mut observer = PackedShiftLeakage::<Wide256>::new(&circuit, &estimator);
+            let stats = packed.run_cycles_wide::<Wide256, _>(
+                black_box(&circuit),
+                &wide_patterns,
+                &config,
+                Propagation::EventDriven,
+                |cycle| observer.observe_cycle(cycle),
+            );
+            (stats, observer.into_average())
+        });
+    });
+    group.bench_function("observer_512_lanes_512", |b| {
+        b.iter(|| {
+            let mut observer = PackedShiftLeakage::<Wide512>::new(&circuit, &estimator);
+            let stats = packed.run_cycles_wide::<Wide512, _>(
+                black_box(&circuit),
+                &wide_patterns,
+                &config,
+                Propagation::EventDriven,
+                |cycle| observer.observe_cycle(cycle),
+            );
+            (stats, observer.into_average())
+        });
+    });
     group.finish();
 
     // Multi-circuit Table I sharding: 1 thread vs automatic.

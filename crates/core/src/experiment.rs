@@ -17,7 +17,9 @@ use scanpower_power::{
     PackedShiftLeakage,
 };
 use scanpower_sim::scan::{ScanPattern, ScanShiftSim, ShiftConfig, ShiftPhase, ShiftStats};
-use scanpower_sim::{BlockDriver, PackedScanShiftSim, Propagation};
+use scanpower_sim::{
+    BlockDriver, PackedLogicWord, PackedScanShiftSim, PackedWord, Propagation, Wide256, Wide512,
+};
 
 use crate::baseline::{traditional_shift_config, InputControlBaseline};
 use crate::proposed::{ProposedMethod, ProposedOptions};
@@ -126,6 +128,17 @@ pub struct ExperimentOptions {
     /// cross-checking.
     #[serde(default = "default_packed_replay")]
     pub packed_replay: bool,
+    /// Lane width of the packed replay: how many patterns one kernel pass
+    /// evaluates. `64` (the default) runs on [`PackedWord`]; `256` and
+    /// `512` opt into the wide multi-word types
+    /// ([`Wide256`]/[`Wide512`]), which amortize the per-pass overhead of
+    /// each shift cycle over more patterns. Every width produces
+    /// bit-identical results — stats, per-net toggles and the static-power
+    /// average — so the choice is purely a throughput knob. Ignored by the
+    /// scalar replay (`packed_replay = false`). Any other value makes the
+    /// replay panic.
+    #[serde(default = "default_lane_width")]
+    pub lane_width: usize,
     /// Propagate each packed shift cycle event-driven
     /// ([`Propagation::EventDriven`]): only the fanout cones of the nets
     /// that actually changed are re-evaluated, and the static-power
@@ -152,6 +165,10 @@ fn default_packed_replay() -> bool {
     true
 }
 
+fn default_lane_width() -> usize {
+    64
+}
+
 fn default_event_driven() -> bool {
     true
 }
@@ -164,6 +181,7 @@ impl Default for ExperimentOptions {
             proposed: ProposedOptions::default(),
             threads: 0,
             packed_replay: default_packed_replay(),
+            lane_width: default_lane_width(),
             event_driven: default_event_driven(),
             scalar_leakage_lookup: false,
         }
@@ -239,7 +257,11 @@ impl CircuitExperiment {
     /// selects the bit-identical full-sweep cross-check. The observer's
     /// per-gate table lookup is lane-parallel by default;
     /// [`ExperimentOptions::scalar_leakage_lookup`] switches it to the
-    /// (equally bit-identical) scalar enumeration for cross-checks.
+    /// (equally bit-identical) scalar enumeration for cross-checks. The
+    /// packed replay's block size follows
+    /// [`ExperimentOptions::lane_width`] (64 on [`PackedWord`], 256/512 on
+    /// the wide words — bit-identical at every width; an unsupported width
+    /// panics).
     #[must_use]
     pub fn evaluate_scheme_stats(
         &self,
@@ -261,12 +283,30 @@ impl CircuitExperiment {
             } else {
                 Propagation::FullSweep
             };
-            let sim = PackedScanShiftSim::new(netlist);
-            let mut leakage = PackedShiftLeakage::new(netlist, &estimator);
-            let stats = sim.run_cycles(netlist, patterns, config, propagation, |cycle| {
-                leakage.observe_cycle(cycle);
-            });
-            (stats, leakage.into_average())
+            match self.options.lane_width {
+                64 => packed_scheme_replay::<PackedWord>(
+                    netlist,
+                    patterns,
+                    config,
+                    propagation,
+                    &estimator,
+                ),
+                256 => packed_scheme_replay::<Wide256>(
+                    netlist,
+                    patterns,
+                    config,
+                    propagation,
+                    &estimator,
+                ),
+                512 => packed_scheme_replay::<Wide512>(
+                    netlist,
+                    patterns,
+                    config,
+                    propagation,
+                    &estimator,
+                ),
+                other => panic!("unsupported lane_width {other}: expected 64, 256 or 512"),
+            }
         } else {
             let sim = ScanShiftSim::new(netlist);
             let mut leakage = LeakageAverage::new();
@@ -344,6 +384,25 @@ impl CircuitExperiment {
             proposed,
         }
     }
+}
+
+/// Replays one scheme on the packed simulator at `W::LANES` patterns per
+/// pass, with the lane-aware static-power observer riding the per-cycle
+/// delta — the width-generic engine behind
+/// [`CircuitExperiment::evaluate_scheme_stats`]'s `lane_width` dispatch.
+fn packed_scheme_replay<W: PackedLogicWord>(
+    netlist: &Netlist,
+    patterns: &[ScanPattern],
+    config: &ShiftConfig,
+    propagation: Propagation,
+    estimator: &LeakageEstimator,
+) -> (ShiftStats, LeakageAverage) {
+    let sim = PackedScanShiftSim::new(netlist);
+    let mut leakage = PackedShiftLeakage::<W>::new(netlist, estimator);
+    let stats = sim.run_cycles_wide::<W, _>(netlist, patterns, config, propagation, |cycle| {
+        leakage.observe_cycle(cycle);
+    });
+    (stats, leakage.into_average())
 }
 
 /// A complete Table I reproduction.
@@ -609,6 +668,43 @@ mod tests {
         assert_eq!(packed_stats, scalar_stats);
         assert_eq!(packed_power, scalar_power);
         assert!(packed_stats.total_toggles > 0);
+    }
+
+    /// Wide lane widths must reproduce the 64-lane rows bit for bit —
+    /// stats are integers and the static average is pattern-major at every
+    /// width, so plain row equality is the right assertion.
+    #[test]
+    fn wide_lane_widths_produce_identical_rows() {
+        let n = bench::parse(bench::S27_BENCH, "s27").unwrap();
+        let reference = CircuitExperiment::new(ExperimentOptions::fast());
+        assert_eq!(reference.options().lane_width, 64, "64 is the default");
+        let reference = reference.run(&n);
+        for lane_width in [256, 512] {
+            for event_driven in [true, false] {
+                let wide = CircuitExperiment::new(ExperimentOptions {
+                    lane_width,
+                    event_driven,
+                    ..ExperimentOptions::fast()
+                })
+                .run(&n);
+                assert_eq!(
+                    wide, reference,
+                    "lane_width {lane_width}, event_driven {event_driven}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported lane_width")]
+    fn unsupported_lane_width_panics() {
+        let n = bench::parse(bench::S27_BENCH, "s27").unwrap();
+        let experiment = CircuitExperiment::new(ExperimentOptions {
+            lane_width: 128,
+            ..ExperimentOptions::fast()
+        });
+        let config = traditional_shift_config(&n);
+        let _ = experiment.evaluate_scheme_stats(&n, &[], &config);
     }
 
     /// One circuit per driver job: the whole report is bit-identical for

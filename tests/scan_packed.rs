@@ -19,7 +19,7 @@ use scanpower_suite::core::ProposedMethod;
 use scanpower_suite::netlist::generator::CircuitFamily;
 use scanpower_suite::netlist::Netlist;
 use scanpower_suite::sim::scan::{ScanPattern, ScanShiftSim, ShiftConfig};
-use scanpower_suite::sim::{Logic, PackedScanShiftSim};
+use scanpower_suite::sim::{Logic, PackedScanShiftSim, Wide256, Wide512};
 
 fn generated_circuit() -> Netlist {
     CircuitFamily::iscas89_like("s344")
@@ -241,6 +241,104 @@ fn full_sweep_propagation_cross_check_is_bit_identical() {
         assert_eq!(
             full_sweep, event_driven,
             "threads {threads}: report must not depend on the propagation mode"
+        );
+    }
+}
+
+/// The wide replay at the sim level: 256- and 512-lane blocks reproduce
+/// the 64-lane and scalar `ShiftStats` exactly — on X-carrying pattern
+/// sets long enough to exercise cross-block capture carries at every
+/// width (300 patterns: partial final block at 64, 256 and 512 lanes),
+/// under PI control values, forced pseudo-inputs and `count_capture`.
+/// CI runs the `wide_kernel` tests by name so the wide path cannot rot.
+#[test]
+fn wide_kernel_replay_is_bit_identical_across_lane_widths() {
+    let circuit = generated_circuit();
+    let ff = circuit.dff_count();
+    let pi = circuit.primary_inputs().len();
+    let patterns = ternary_patterns(&circuit, 300, 0x71de);
+    assert_eq!(patterns.len() % 256, 44, "partial final wide block");
+
+    let mut configs = vec![ShiftConfig::traditional(ff)];
+    let mut knobs =
+        ShiftConfig::with_pi_control(ff, (0..pi).map(|i| Logic::from_bool(i % 3 == 0)).collect());
+    for (cell, forced) in knobs.forced_pseudo.iter_mut().enumerate() {
+        *forced = match cell % 3 {
+            0 => Some(Logic::Zero),
+            1 => Some(Logic::One),
+            _ => None,
+        };
+    }
+    knobs.count_capture = true;
+    configs.push(knobs);
+
+    for config in &configs {
+        let scalar = ScanShiftSim::new(&circuit).run(&circuit, &patterns, config);
+        let sim = PackedScanShiftSim::new(&circuit);
+        let packed = sim.run(&circuit, &patterns, config);
+        let wide256 = sim.run_wide::<Wide256>(&circuit, &patterns, config);
+        let wide512 = sim.run_wide::<Wide512>(&circuit, &patterns, config);
+        assert_eq!(packed, scalar);
+        assert_eq!(wide256, scalar, "256 lanes");
+        assert_eq!(wide512, scalar, "512 lanes");
+    }
+}
+
+/// The wide replay at the experiment level: `lane_width` 256/512 rows —
+/// replay plus lane-aware leakage observer — match the default 64-lane
+/// rows bit for bit in both propagation modes, and the full Table I
+/// report is width-independent across thread counts {1, 3, auto}.
+#[test]
+fn wide_kernel_experiment_is_bit_identical_across_lane_widths() {
+    let circuit = generated_circuit();
+    let patterns = ternary_patterns(&circuit, 300, 0xd1de);
+    let config = traditional_shift_config(&circuit);
+    let reference = CircuitExperiment::new(ExperimentOptions::fast());
+    assert_eq!(reference.options().lane_width, 64, "64 is the default");
+    let (reference_power, reference_stats) =
+        reference.evaluate_scheme_stats(&circuit, &patterns, &config);
+
+    for lane_width in [256, 512] {
+        for event_driven in [true, false] {
+            let wide = CircuitExperiment::new(ExperimentOptions {
+                lane_width,
+                event_driven,
+                ..ExperimentOptions::fast()
+            });
+            let (wide_power, wide_stats) = wide.evaluate_scheme_stats(&circuit, &patterns, &config);
+            assert_eq!(
+                wide_stats, reference_stats,
+                "lane_width {lane_width}, event_driven {event_driven}"
+            );
+            assert_eq!(
+                wide_power.static_uw.to_bits(),
+                reference_power.static_uw.to_bits(),
+                "lane_width {lane_width}, event_driven {event_driven}: \
+                 static average must match bit for bit"
+            );
+            assert_eq!(wide_power, reference_power);
+        }
+    }
+
+    let specs = vec![
+        CircuitFamily::iscas89_like("s344").unwrap(),
+        CircuitFamily::iscas89_like("s382").unwrap(),
+    ];
+    let narrow = run_table1(&specs, &ExperimentOptions::fast(), Some(0.3), 2);
+    for threads in [1, 3, 0] {
+        let wide = run_table1(
+            &specs,
+            &ExperimentOptions {
+                lane_width: 256,
+                threads,
+                ..ExperimentOptions::fast()
+            },
+            Some(0.3),
+            2,
+        );
+        assert_eq!(
+            wide, narrow,
+            "threads {threads}: report must not depend on the lane width"
         );
     }
 }

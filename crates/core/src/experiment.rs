@@ -10,6 +10,7 @@
 use serde::{Deserialize, Serialize};
 
 use scanpower_atpg::{AtpgConfig, AtpgFlow};
+use scanpower_lint::{lint_netlist, LintFacts};
 use scanpower_netlist::generator::CircuitFamily;
 use scanpower_netlist::Netlist;
 use scanpower_power::{
@@ -159,9 +160,33 @@ pub struct ExperimentOptions {
     /// exercised (CI runs the suite with it once per matrix entry).
     #[serde(default)]
     pub scalar_leakage_lookup: bool,
+    /// Run the [`scanpower_lint`] static-analysis preflight before the
+    /// experiment (the default). [`CircuitExperiment::run`] then refuses —
+    /// with the full lint report — any circuit carrying an Error-severity
+    /// finding (undriven nets, combinational loops, over-pin-limit gates,
+    /// …), instead of failing deep inside the replay kernel.
+    #[serde(default = "default_lint_preflight")]
+    pub lint_preflight: bool,
+    /// Let the packed replay's static-power observer skip provably-static
+    /// gates (the default): each scheme's shift configuration is analyzed
+    /// with [`LintFacts::analyze_shift`] and gates whose inputs are settled
+    /// constants contribute a precomputed value instead of a per-cycle
+    /// table gather. Bit-identical by construction (a CI-pinned agreement
+    /// suite keeps the off-configuration exercised); ignored by the scalar
+    /// replay.
+    #[serde(default = "default_lint_facts_skip")]
+    pub lint_facts_skip: bool,
 }
 
 fn default_packed_replay() -> bool {
+    true
+}
+
+fn default_lint_preflight() -> bool {
+    true
+}
+
+fn default_lint_facts_skip() -> bool {
     true
 }
 
@@ -184,6 +209,8 @@ impl Default for ExperimentOptions {
             lane_width: default_lane_width(),
             event_driven: default_event_driven(),
             scalar_leakage_lookup: false,
+            lint_preflight: default_lint_preflight(),
+            lint_facts_skip: default_lint_facts_skip(),
         }
     }
 }
@@ -283,6 +310,14 @@ impl CircuitExperiment {
             } else {
                 Propagation::FullSweep
             };
+            // Ternary constant propagation under this scheme's shift
+            // forcing: the observer skips every gate the analysis settles.
+            let facts = if self.options.lint_facts_skip {
+                Some(LintFacts::analyze_shift(netlist, config))
+            } else {
+                None
+            };
+            let facts = facts.as_ref();
             match self.options.lane_width {
                 64 => packed_scheme_replay::<PackedWord>(
                     netlist,
@@ -290,6 +325,7 @@ impl CircuitExperiment {
                     config,
                     propagation,
                     &estimator,
+                    facts,
                 ),
                 256 => packed_scheme_replay::<Wide256>(
                     netlist,
@@ -297,6 +333,7 @@ impl CircuitExperiment {
                     config,
                     propagation,
                     &estimator,
+                    facts,
                 ),
                 512 => packed_scheme_replay::<Wide512>(
                     netlist,
@@ -304,6 +341,7 @@ impl CircuitExperiment {
                     config,
                     propagation,
                     &estimator,
+                    facts,
                 ),
                 other => panic!("unsupported lane_width {other}: expected 64, 256 or 512"),
             }
@@ -332,10 +370,21 @@ impl CircuitExperiment {
     /// # Panics
     ///
     /// Panics if the netlist is not a valid full-scan circuit (no scan
-    /// cells, or a cyclic combinational part).
+    /// cells, or a cyclic combinational part), or — with
+    /// [`ExperimentOptions::lint_preflight`] on (the default) — if the
+    /// static-analysis preflight finds any Error-severity diagnostic; the
+    /// panic message carries the full lint report.
     #[must_use]
     pub fn run(&self, netlist: &Netlist) -> CircuitRow {
         assert!(netlist.dff_count() > 0, "full-scan circuit required");
+        if self.options.lint_preflight {
+            let report = lint_netlist(netlist);
+            assert!(
+                !report.has_errors(),
+                "lint preflight rejected the circuit:\n{}",
+                report.to_text()
+            );
+        }
 
         // Test set (the ATOM substitute). No test-vector or scan-cell
         // reordering is applied, exactly like the paper's experiments.
@@ -396,9 +445,13 @@ fn packed_scheme_replay<W: PackedLogicWord>(
     config: &ShiftConfig,
     propagation: Propagation,
     estimator: &LeakageEstimator,
+    facts: Option<&LintFacts>,
 ) -> (ShiftStats, LeakageAverage) {
     let sim = PackedScanShiftSim::new(netlist);
-    let mut leakage = PackedShiftLeakage::<W>::new(netlist, estimator);
+    let mut leakage = match facts {
+        Some(facts) => PackedShiftLeakage::<W>::with_facts(netlist, estimator, facts),
+        None => PackedShiftLeakage::<W>::new(netlist, estimator),
+    };
     let stats = sim.run_cycles_wide::<W, _>(netlist, patterns, config, propagation, |cycle| {
         leakage.observe_cycle(cycle);
     });
@@ -693,6 +746,92 @@ mod tests {
                 );
             }
         }
+    }
+
+    /// The facts-skipping observer configuration (`lint_facts_skip`, on by
+    /// default) must reproduce the unskipped rows bit for bit across every
+    /// lane width and both propagation modes — the CI-pinned agreement
+    /// matrix for the `LintFacts` gather skip.
+    #[test]
+    fn lint_facts_skip_produces_identical_rows() {
+        let n = bench::parse(bench::S27_BENCH, "s27").unwrap();
+        let defaults = CircuitExperiment::new(ExperimentOptions::fast());
+        assert!(
+            defaults.options().lint_facts_skip,
+            "skipping is the default"
+        );
+        assert!(
+            defaults.options().lint_preflight,
+            "preflight is the default"
+        );
+        let reference = CircuitExperiment::new(ExperimentOptions {
+            lint_facts_skip: false,
+            ..ExperimentOptions::fast()
+        })
+        .run(&n);
+        for lane_width in [64, 256, 512] {
+            for event_driven in [true, false] {
+                let skipping = CircuitExperiment::new(ExperimentOptions {
+                    lane_width,
+                    event_driven,
+                    ..ExperimentOptions::fast()
+                })
+                .run(&n);
+                assert_eq!(
+                    skipping, reference,
+                    "lane_width {lane_width}, event_driven {event_driven}"
+                );
+            }
+        }
+    }
+
+    /// The facts skip composes with the outer circuit sharding: whole
+    /// Table I reports agree bit for bit between skip on/off at every
+    /// thread count.
+    #[test]
+    fn lint_facts_skip_is_identical_across_thread_counts() {
+        let specs = vec![
+            CircuitFamily::iscas89_like("s344").unwrap(),
+            CircuitFamily::iscas89_like("s382").unwrap(),
+        ];
+        let reference = run_table1(
+            &specs,
+            &ExperimentOptions {
+                threads: 1,
+                lint_facts_skip: false,
+                ..ExperimentOptions::fast()
+            },
+            Some(0.3),
+            1,
+        );
+        for threads in [1, 2] {
+            let skipping = run_table1(
+                &specs,
+                &ExperimentOptions {
+                    threads,
+                    lint_facts_skip: true,
+                    ..ExperimentOptions::fast()
+                },
+                Some(0.3),
+                1,
+            );
+            assert_eq!(skipping, reference, "threads {threads}");
+        }
+    }
+
+    /// The lint preflight (on by default) refuses circuits with
+    /// Error-severity findings before any simulation runs.
+    #[test]
+    #[should_panic(expected = "lint preflight rejected")]
+    fn lint_preflight_rejects_undriven_nets() {
+        use scanpower_netlist::GateKind;
+        let mut n = Netlist::new("bad");
+        let a = n.add_input("a");
+        let hole = n.ensure_net("hole");
+        let g = n.add_gate(GateKind::And, &[a, hole], "g");
+        n.add_dff(g.output, "q");
+        n.mark_output(g.output);
+        let _ = CircuitExperiment::new(ExperimentOptions::fast()).run(&n);
     }
 
     #[test]

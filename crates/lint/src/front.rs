@@ -1,0 +1,100 @@
+//! The `.bench` front door: parse untrusted text, classify parse-stage
+//! failures into diagnostics, and lint whatever netlist survives.
+
+use scanpower_netlist::{bench, Netlist, NetlistError};
+
+use crate::diagnostics::{Diagnostic, LintCode, LintReport};
+use crate::lint_netlist;
+
+/// Result of linting `.bench` source text.
+#[derive(Debug, Clone)]
+pub struct BenchLint {
+    /// All findings, including parse-stage ones.
+    pub report: LintReport,
+    /// The parsed netlist, present only when the report carries no
+    /// Error-severity finding (i.e. the netlist is safe to simulate).
+    pub netlist: Option<Netlist>,
+}
+
+/// Parses and lints `.bench` text in one step.
+///
+/// Unlike [`bench::parse`], this never returns an error: parse failures
+/// become `SPL003`/`SPL009` diagnostics with the source line and offending
+/// token, and structurally suspect netlists (undriven nets, loops) are
+/// reported in full instead of stopping at the first problem.
+#[must_use]
+pub fn lint_bench(text: &str, name: &str) -> BenchLint {
+    match bench::parse_unvalidated(text, name) {
+        Ok(netlist) => {
+            let report = lint_netlist(&netlist);
+            let netlist = if report.has_errors() {
+                None
+            } else {
+                Some(netlist)
+            };
+            BenchLint { report, netlist }
+        }
+        Err(error) => {
+            let mut report = LintReport::new(name);
+            report.push(classify_parse_error(&error));
+            BenchLint {
+                report,
+                netlist: None,
+            }
+        }
+    }
+}
+
+fn classify_parse_error(error: &NetlistError) -> Diagnostic {
+    let code = match error.root_cause() {
+        NetlistError::MultipleDrivers(_) => LintCode::MultiplyDrivenNet,
+        _ => LintCode::ParseError,
+    };
+    let diagnostic = Diagnostic::new(code, error.to_string());
+    match error {
+        NetlistError::ParseBench { line, .. } | NetlistError::AtLine { line, .. } => {
+            diagnostic.with_line(*line)
+        }
+        _ => diagnostic,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_bench_yields_a_netlist() {
+        let result = lint_bench(bench::S27_BENCH, "s27");
+        assert!(result.report.is_clean(), "{}", result.report.to_text());
+        assert!(result.netlist.is_some());
+    }
+
+    #[test]
+    fn multiply_driven_nets_get_their_own_code_and_line() {
+        let text = "INPUT(a)\nOUTPUT(b)\nb = NOT(a)\nb = BUF(a)\n";
+        let result = lint_bench(text, "bad");
+        assert!(result.netlist.is_none());
+        let diagnostic = &result.report.diagnostics[0];
+        assert_eq!(diagnostic.code, LintCode::MultiplyDrivenNet);
+        assert_eq!(diagnostic.line, Some(4));
+    }
+
+    #[test]
+    fn syntax_errors_become_parse_diagnostics() {
+        let result = lint_bench("INPUT(a)\nb = FROB(a)\n", "bad");
+        assert!(result.netlist.is_none());
+        let diagnostic = &result.report.diagnostics[0];
+        assert_eq!(diagnostic.code, LintCode::ParseError);
+        assert_eq!(diagnostic.line, Some(2));
+        assert!(diagnostic.message.contains("FROB"));
+    }
+
+    #[test]
+    fn undriven_nets_are_reported_not_fatal_to_parsing() {
+        let text = "INPUT(a)\nOUTPUT(b)\nb = AND(a, c)\n";
+        let result = lint_bench(text, "bad");
+        assert!(result.netlist.is_none(), "undriven net is an error");
+        assert!(result.report.has_code(LintCode::UndrivenNet));
+    }
+}

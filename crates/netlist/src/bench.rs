@@ -61,11 +61,30 @@ G13 = NOR(G2, G12)
 /// # Errors
 ///
 /// Returns [`NetlistError::ParseBench`] on malformed lines,
-/// [`NetlistError::MultipleDrivers`] / [`NetlistError::InvalidFanin`] on
-/// structurally invalid definitions, and [`NetlistError::Validation`] /
-/// [`NetlistError::CombinationalCycle`] if the resulting netlist is not a
-/// well-formed full-scan circuit.
+/// [`NetlistError::AtLine`] (wrapping [`NetlistError::MultipleDrivers`] /
+/// [`NetlistError::InvalidFanin`]) on structurally invalid definitions, and
+/// [`NetlistError::Validation`] / [`NetlistError::CombinationalCycle`] if the
+/// resulting netlist is not a well-formed full-scan circuit. Every parse-stage
+/// error carries the 1-based source line number and the offending token.
 pub fn parse(text: &str, name: &str) -> Result<Netlist> {
+    let netlist = parse_unvalidated(text, name)?;
+    netlist.validate()?;
+    Ok(netlist)
+}
+
+/// Parses `.bench` text like [`parse`] but skips [`Netlist::validate`].
+///
+/// This is the front door for static analysis: the lint pass wants to see
+/// structurally suspect netlists (undriven nets, combinational loops) in full
+/// so it can report *every* finding with locations, instead of stopping at the
+/// first validation error.
+///
+/// # Errors
+///
+/// Returns the same line/token-annotated errors as [`parse`] for text that
+/// cannot be turned into a netlist at all (syntax errors, multiply-driven
+/// nets, invalid fanin).
+pub fn parse_unvalidated(text: &str, name: &str) -> Result<Netlist> {
     let mut netlist = Netlist::new(name);
     let mut outputs = Vec::new();
 
@@ -86,6 +105,7 @@ pub fn parse(text: &str, name: &str) -> Result<Netlist> {
             if target.is_empty() {
                 return Err(NetlistError::ParseBench {
                     line: line_number,
+                    token: "=".into(),
                     message: "missing target net before `=`".into(),
                 });
             }
@@ -95,25 +115,32 @@ pub fn parse(text: &str, name: &str) -> Result<Netlist> {
                 if args.len() != 1 {
                     return Err(NetlistError::ParseBench {
                         line: line_number,
+                        token: function,
                         message: format!("DFF takes exactly one input, got {}", args.len()),
                     });
                 }
                 let d = netlist.ensure_net(&args[0]);
-                netlist.try_add_dff_driving(d, output)?;
+                netlist
+                    .try_add_dff_driving(d, output)
+                    .map_err(|e| NetlistError::at_line(line_number, target, e))?;
             } else {
                 let kind = GateKind::from_bench_name(&function).ok_or_else(|| {
                     NetlistError::ParseBench {
                         line: line_number,
+                        token: function.clone(),
                         message: format!("unknown gate function `{function}`"),
                     }
                 })?;
                 let inputs: Vec<_> = args.iter().map(|arg| netlist.ensure_net(arg)).collect();
-                netlist.try_add_gate_driving(kind, &inputs, output)?;
+                netlist
+                    .try_add_gate_driving(kind, &inputs, output)
+                    .map_err(|e| NetlistError::at_line(line_number, target, e))?;
             }
         } else {
             return Err(NetlistError::ParseBench {
                 line: line_number,
-                message: format!("unrecognised line `{line}`"),
+                token: line.to_owned(),
+                message: "unrecognised line".into(),
             });
         }
     }
@@ -121,7 +148,6 @@ pub fn parse(text: &str, name: &str) -> Result<Netlist> {
     for output in outputs {
         netlist.mark_output(output);
     }
-    netlist.validate()?;
     Ok(netlist)
 }
 
@@ -179,12 +205,14 @@ fn parse_single_arg(rest: &str, line: usize) -> Result<String> {
         .and_then(|s| s.strip_suffix(')'))
         .ok_or_else(|| NetlistError::ParseBench {
             line,
+            token: rest.to_owned(),
             message: "expected `(name)`".into(),
         })?;
     let name = inner.trim();
     if name.is_empty() {
         return Err(NetlistError::ParseBench {
             line,
+            token: rest.to_owned(),
             message: "empty net name".into(),
         });
     }
@@ -196,11 +224,13 @@ fn parse_call(definition: &str, line: usize) -> Result<(String, Vec<String>)> {
         .find('(')
         .ok_or_else(|| NetlistError::ParseBench {
             line,
+            token: definition.to_owned(),
             message: "expected `FUNC(args)`".into(),
         })?;
     if !definition.ends_with(')') {
         return Err(NetlistError::ParseBench {
             line,
+            token: definition.to_owned(),
             message: "missing closing `)`".into(),
         });
     }
@@ -214,6 +244,7 @@ fn parse_call(definition: &str, line: usize) -> Result<(String, Vec<String>)> {
     if function.is_empty() {
         return Err(NetlistError::ParseBench {
             line,
+            token: definition.to_owned(),
             message: "missing gate function name".into(),
         });
     }
@@ -226,6 +257,7 @@ impl Netlist {
         if !matches!(self.net(id).driver, NetDriver::None) {
             return Err(NetlistError::ParseBench {
                 line,
+                token: name.to_owned(),
                 message: format!("net `{name}` declared INPUT but already driven"),
             });
         }
@@ -272,6 +304,10 @@ mod tests {
         let text = "INPUT(a)\nOUTPUT(b)\nb = FROB(a)\n";
         let err = parse(text, "bad").unwrap_err();
         assert!(matches!(err, NetlistError::ParseBench { line: 3, .. }));
+        match err {
+            NetlistError::ParseBench { token, .. } => assert_eq!(token, "FROB"),
+            other => panic!("unexpected error {other:?}"),
+        }
     }
 
     #[test]
@@ -288,10 +324,29 @@ mod tests {
     }
 
     #[test]
-    fn double_driver_is_an_error() {
+    fn double_driver_is_an_error_with_a_location() {
         let text = "INPUT(a)\nOUTPUT(b)\nb = NOT(a)\nb = BUF(a)\n";
         let err = parse(text, "bad").unwrap_err();
-        assert!(matches!(err, NetlistError::MultipleDrivers(_)));
+        assert!(matches!(err, NetlistError::AtLine { line: 4, .. }));
+        assert!(matches!(
+            err.root_cause(),
+            NetlistError::MultipleDrivers(name) if name == "b"
+        ));
+        match &err {
+            NetlistError::AtLine { token, .. } => assert_eq!(token, "b"),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_unvalidated_keeps_structurally_suspect_netlists() {
+        // An undriven net fails `parse` but survives `parse_unvalidated`, so
+        // the lint pass can report it with a name.
+        let text = "INPUT(a)\nOUTPUT(b)\nb = AND(a, c)\n";
+        assert!(parse(text, "bad").is_err());
+        let n = parse_unvalidated(text, "bad").unwrap();
+        assert_eq!(n.gate_count(), 1);
+        assert!(n.net_by_name("c").is_some());
     }
 
     #[test]

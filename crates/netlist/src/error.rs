@@ -22,8 +22,20 @@ pub enum NetlistError {
     ParseBench {
         /// 1-based line number of the offending line.
         line: usize,
+        /// The token (or line fragment) that triggered the error.
+        token: String,
         /// Explanation of what went wrong.
         message: String,
+    },
+    /// A structural error raised while applying a parsed `.bench` line,
+    /// annotated with where in the source text it happened.
+    AtLine {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// The token being processed when the error was raised.
+        token: String,
+        /// The underlying structural error.
+        source: Box<NetlistError>,
     },
     /// The combinational part of the netlist contains a cycle.
     CombinationalCycle(String),
@@ -43,8 +55,22 @@ impl fmt::Display for NetlistError {
             NetlistError::InvalidFanin { kind, got } => {
                 write!(f, "gate kind {kind} cannot have {got} inputs")
             }
-            NetlistError::ParseBench { line, message } => {
-                write!(f, "bench parse error at line {line}: {message}")
+            NetlistError::ParseBench {
+                line,
+                token,
+                message,
+            } => {
+                write!(
+                    f,
+                    "bench parse error at line {line} near `{token}`: {message}"
+                )
+            }
+            NetlistError::AtLine {
+                line,
+                token,
+                source,
+            } => {
+                write!(f, "at line {line} near `{token}`: {source}")
             }
             NetlistError::CombinationalCycle(name) => {
                 write!(f, "combinational cycle detected through net `{name}`")
@@ -53,6 +79,33 @@ impl fmt::Display for NetlistError {
                 write!(f, "unknown ISCAS89 circuit `{name}`")
             }
             NetlistError::Validation(message) => write!(f, "netlist validation failed: {message}"),
+        }
+    }
+}
+
+impl NetlistError {
+    /// Wraps `source` with the 1-based `line` and the offending `token` of the
+    /// `.bench` text it was raised for. Errors that already carry a location
+    /// are returned unchanged.
+    #[must_use]
+    pub fn at_line(line: usize, token: impl Into<String>, source: NetlistError) -> NetlistError {
+        match source {
+            located @ (NetlistError::ParseBench { .. } | NetlistError::AtLine { .. }) => located,
+            other => NetlistError::AtLine {
+                line,
+                token: token.into(),
+                source: Box::new(other),
+            },
+        }
+    }
+
+    /// The underlying structural error, unwrapping an [`NetlistError::AtLine`]
+    /// location annotation if present.
+    #[must_use]
+    pub fn root_cause(&self) -> &NetlistError {
+        match self {
+            NetlistError::AtLine { source, .. } => source.root_cause(),
+            other => other,
         }
     }
 }
@@ -69,9 +122,24 @@ mod tests {
         assert_eq!(err.to_string(), "unknown net `n1`");
         let err = NetlistError::ParseBench {
             line: 4,
+            token: "G17".into(),
             message: "missing `=`".into(),
         };
         assert!(err.to_string().contains("line 4"));
+        assert!(err.to_string().contains("`G17`"));
+    }
+
+    #[test]
+    fn at_line_wraps_once_and_exposes_the_root_cause() {
+        let inner = NetlistError::MultipleDrivers("b".into());
+        let wrapped = NetlistError::at_line(4, "b", inner.clone());
+        assert!(matches!(wrapped, NetlistError::AtLine { line: 4, .. }));
+        assert_eq!(wrapped.root_cause(), &inner);
+        assert!(wrapped.to_string().contains("line 4"));
+        assert!(wrapped.to_string().contains("more than one driver"));
+        // Re-wrapping keeps the original location.
+        let rewrapped = NetlistError::at_line(9, "x", wrapped.clone());
+        assert_eq!(rewrapped, wrapped);
     }
 
     #[test]

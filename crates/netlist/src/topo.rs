@@ -58,6 +58,101 @@ pub fn topological_gates(netlist: &Netlist) -> Result<Vec<GateId>> {
     Ok(order)
 }
 
+/// Returns the combinational cycles of `netlist` as explicit gate paths.
+///
+/// Each returned vector is a closed loop: every gate's output feeds an input
+/// of the next gate in the list, and the last gate's output feeds the first.
+/// An empty result means the combinational part is a DAG (the success case of
+/// [`topological_gates`]). Overlapping loops through an already-reported gate
+/// are collapsed into the first loop found, so the result stays readable on
+/// densely tangled netlists; every gate stuck in a cycle is reachable from at
+/// least one reported loop.
+#[must_use]
+pub fn combinational_cycles(netlist: &Netlist) -> Vec<Vec<GateId>> {
+    // Kahn peel, as in `topological_gates`: whatever cannot be scheduled is
+    // inside (or strictly downstream of) a cycle.
+    let mut remaining_fanin: Vec<usize> = netlist
+        .gates()
+        .iter()
+        .map(|gate| {
+            gate.inputs
+                .iter()
+                .filter(|&&input| netlist.driver_gate(input).is_some())
+                .count()
+        })
+        .collect();
+    let mut ready: VecDeque<GateId> = netlist
+        .gate_ids()
+        .filter(|&g| remaining_fanin[g.index()] == 0)
+        .collect();
+    let mut scheduled = 0usize;
+    while let Some(gate) = ready.pop_front() {
+        scheduled += 1;
+        let output = netlist.gate(gate).output;
+        for &(load, _pin) in netlist.loads(output) {
+            remaining_fanin[load.index()] -= 1;
+            if remaining_fanin[load.index()] == 0 {
+                ready.push_back(load);
+            }
+        }
+    }
+    if scheduled == netlist.gate_count() {
+        return Vec::new();
+    }
+    let stuck: Vec<bool> = remaining_fanin.iter().map(|&r| r > 0).collect();
+
+    // DFS restricted to the stuck gates; each back edge closes a loop.
+    let successors = |gate: GateId| -> std::vec::IntoIter<GateId> {
+        let output = netlist.gate(gate).output;
+        netlist
+            .loads(output)
+            .iter()
+            .map(|&(load, _)| load)
+            .filter(|&load| stuck[load.index()])
+            .collect::<Vec<_>>()
+            .into_iter()
+    };
+    let mut cycles = Vec::new();
+    let mut color = vec![0u8; netlist.gate_count()]; // 0 new, 1 on path, 2 done
+    let mut reported = vec![false; netlist.gate_count()];
+    for start in netlist.gate_ids().filter(|&g| stuck[g.index()]) {
+        if color[start.index()] != 0 {
+            continue;
+        }
+        let mut frames = vec![(start, successors(start))];
+        let mut path = vec![start];
+        color[start.index()] = 1;
+        while let Some((gate, iter)) = frames.last_mut() {
+            if let Some(next) = iter.next() {
+                match color[next.index()] {
+                    0 => {
+                        color[next.index()] = 1;
+                        path.push(next);
+                        frames.push((next, successors(next)));
+                    }
+                    1 if !reported[next.index()] => {
+                        let pos = path
+                            .iter()
+                            .position(|&g| g == next)
+                            .expect("on-path gate must be in the path");
+                        let cycle = path[pos..].to_vec();
+                        for &g in &cycle {
+                            reported[g.index()] = true;
+                        }
+                        cycles.push(cycle);
+                    }
+                    _ => {}
+                }
+            } else {
+                color[gate.index()] = 2;
+                path.pop();
+                frames.pop();
+            }
+        }
+    }
+    cycles
+}
+
 /// Logic level of every gate: combinational inputs are level 0 and each gate
 /// is one more than the maximum level of its input drivers.
 ///
@@ -218,6 +313,48 @@ mod tests {
         n.mark_output(g.output);
         assert!(topological_gates(&n).is_ok());
         assert!(n.validate().is_ok());
+    }
+
+    #[test]
+    fn acyclic_netlists_report_no_cycles() {
+        assert!(combinational_cycles(&chain()).is_empty());
+    }
+
+    #[test]
+    fn cycle_path_is_closed_and_complete() {
+        // x = NAND(a, y); y = NOT(x): a two-gate combinational loop.
+        let mut n = Netlist::new("cyc");
+        let a = n.add_input("a");
+        let x = n.ensure_net("x");
+        let y = n.ensure_net("y");
+        n.try_add_gate_driving(GateKind::Nand, &[a, y], x).unwrap();
+        n.try_add_gate_driving(GateKind::Not, &[x], y).unwrap();
+        n.mark_output(y);
+        assert!(topological_gates(&n).is_err());
+        let cycles = combinational_cycles(&n);
+        assert_eq!(cycles.len(), 1);
+        let cycle = &cycles[0];
+        assert_eq!(cycle.len(), 2);
+        // Each gate's output must feed an input of the next gate in the loop.
+        for (i, &gate) in cycle.iter().enumerate() {
+            let next = cycle[(i + 1) % cycle.len()];
+            let output = n.gate(gate).output;
+            assert!(n.gate(next).inputs.contains(&output));
+        }
+    }
+
+    #[test]
+    fn disjoint_cycles_are_reported_separately() {
+        let mut n = Netlist::new("cyc2");
+        let a = n.add_input("a");
+        for tag in ["p", "q"] {
+            let x = n.ensure_net(&format!("{tag}_x"));
+            let y = n.ensure_net(&format!("{tag}_y"));
+            n.try_add_gate_driving(GateKind::Nand, &[a, y], x).unwrap();
+            n.try_add_gate_driving(GateKind::Not, &[x], y).unwrap();
+            n.mark_output(y);
+        }
+        assert_eq!(combinational_cycles(&n).len(), 2);
     }
 
     #[test]

@@ -1,5 +1,6 @@
 use serde::{Deserialize, Serialize};
 
+use scanpower_lint::LintFacts;
 use scanpower_netlist::{GateId, GateKind, NetId, Netlist};
 use scanpower_sim::kernel;
 use scanpower_sim::scan::ShiftPhase;
@@ -520,6 +521,16 @@ impl LeakageAverage {
 /// expensive bit-plane transposes and table loads for settled gates. A
 /// cycle with an empty delta reuses the previous row outright.
 ///
+/// # Skipping provably-static gates
+///
+/// [`PackedShiftLeakage::with_facts`] accepts the
+/// [`LintFacts`] of the replay's shift configuration and
+/// skips every gate whose inputs the ternary analysis settled to constants:
+/// the gate's single lane-independent contribution is gathered once at
+/// construction and fed into the row re-sum at the gate's usual netlist
+/// position, so the average stays bit-identical while the per-cycle gather
+/// shrinks to the genuinely toggling part of the circuit.
+///
 /// # Examples
 ///
 /// Averaging static power over a packed event-driven scan replay:
@@ -582,6 +593,18 @@ pub struct PackedShiftLeakage<'a, W: PackedLogicWord = PackedWord> {
     /// full gathers skip populating the contribution cache — the cheapest
     /// path when no delta will ever consult it.
     delta_seen: bool,
+    /// Per-gate flag from [`LintFacts`]: `true` for gates whose every input
+    /// is provably constant under the replay's shift configuration. Empty
+    /// when the observer was built without facts.
+    static_gate: Vec<bool>,
+    /// Precomputed per-lane contribution of each static gate (the same
+    /// float in every lane, gathered once at construction).
+    static_value: Vec<f64>,
+    /// Number of `true` entries in `static_gate`.
+    static_count: usize,
+    /// `true` once the static gates' contribution-cache slots were filled;
+    /// after that every gather skips them entirely.
+    static_primed: bool,
     /// The word type only shapes the cache stride (`W::LANES`) and the
     /// observed slices; no word is stored.
     marker: std::marker::PhantomData<W>,
@@ -603,8 +626,75 @@ impl<'a, W: PackedLogicWord> PackedShiftLeakage<'a, W> {
             epoch: 0,
             dirty: Vec::new(),
             delta_seen: false,
+            static_gate: Vec::new(),
+            static_value: Vec::new(),
+            static_count: 0,
+            static_primed: false,
             marker: std::marker::PhantomData,
         }
+    }
+
+    /// Creates an accumulator that skips provably-static gates.
+    ///
+    /// `facts` must come from [`LintFacts::analyze_shift`] over this
+    /// `netlist` with the same [`ShiftConfig`](scanpower_sim::scan::ShiftConfig)
+    /// the replay will run — then every input of a static gate holds its
+    /// analysis constant in **every lane of every shift cycle** (ternary
+    /// monotonicity: the replay's concrete lane values only refine the
+    /// analysis' `X` assumptions). Each static gate's per-lane contribution
+    /// is therefore one lane-independent float, gathered once here; the
+    /// per-cycle gathers skip those gates and the row re-sum feeds the
+    /// cached constant at the gate's usual position in netlist order, so the
+    /// accumulated average stays bit-identical to the unskipped observer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `facts` was computed for a different netlist (mismatched
+    /// net or gate counts).
+    #[must_use]
+    pub fn with_facts(
+        netlist: &'a Netlist,
+        estimator: &'a LeakageEstimator,
+        facts: &LintFacts,
+    ) -> PackedShiftLeakage<'a, W> {
+        assert_eq!(
+            facts.net_count(),
+            netlist.net_count(),
+            "facts were computed for a different netlist (net count mismatch)"
+        );
+        assert_eq!(
+            facts.gate_count(),
+            netlist.gate_count(),
+            "facts were computed for a different netlist (gate count mismatch)"
+        );
+        let mut observer = PackedShiftLeakage::new(netlist, estimator);
+        let splat: Vec<W> = facts
+            .values()
+            .iter()
+            .map(|&value| W::splat(value))
+            .collect();
+        observer.static_gate = vec![false; netlist.gate_count()];
+        observer.static_value = vec![0.0; netlist.gate_count()];
+        let mut out = [0.0f64];
+        for gate_id in netlist.gate_ids() {
+            if facts.is_static_gate(gate_id) {
+                // One lane with every net splatted to its analysis value
+                // reproduces the exact float any lane of any gather would
+                // compute for this gate (same pin codes, same table load).
+                estimator.gate_leakage_lanes_into(netlist, gate_id, &splat, 1, &mut out);
+                observer.static_gate[gate_id.index()] = true;
+                observer.static_value[gate_id.index()] = out[0];
+                observer.static_count += 1;
+            }
+        }
+        observer
+    }
+
+    /// How many gates this observer skips per gather (0 when built without
+    /// [`LintFacts`]).
+    #[must_use]
+    pub fn static_gates_skipped(&self) -> usize {
+        self.static_count
     }
 
     /// Feeds one packed replay event (shift states accumulate, the capture
@@ -638,7 +728,12 @@ impl<'a, W: PackedLogicWord> PackedShiftLeakage<'a, W> {
                     (Some(changed), Some(lanes)) if lanes == cycle.lanes => {
                         self.regather_dirty(changed, cycle, &mut row);
                     }
-                    _ if self.delta_seen => self.full_gather(cycle, &mut row),
+                    // Static gates are skipped through the contribution
+                    // cache, so facts-carrying observers always gather via
+                    // the cache even when no delta will ever arrive.
+                    _ if self.delta_seen || self.static_count > 0 => {
+                        self.full_gather(cycle, &mut row);
+                    }
                     _ => {
                         // No delta has ever been offered: gather straight
                         // into the row without maintaining the cache.
@@ -671,6 +766,15 @@ impl<'a, W: PackedLogicWord> PackedShiftLeakage<'a, W> {
         self.contributions.resize(gate_count * W::LANES, 0.0);
         for gate_id in self.netlist.gate_ids() {
             let slot = gate_id.index() * W::LANES;
+            if self.static_count > 0 && self.static_gate[gate_id.index()] {
+                // A static gate's contribution never moves: fill its cache
+                // slots once, then skip its table gather forever.
+                if !self.static_primed {
+                    self.contributions[slot..slot + W::LANES]
+                        .fill(self.static_value[gate_id.index()]);
+                }
+                continue;
+            }
             self.estimator.gate_leakage_lanes_into(
                 self.netlist,
                 gate_id,
@@ -679,6 +783,7 @@ impl<'a, W: PackedLogicWord> PackedShiftLeakage<'a, W> {
                 &mut self.contributions[slot..slot + W::LANES],
             );
         }
+        self.static_primed = true;
         self.cache_lanes = Some(cycle.lanes);
         self.sum_contributions(cycle.lanes, row);
     }
@@ -691,6 +796,12 @@ impl<'a, W: PackedLogicWord> PackedShiftLeakage<'a, W> {
         self.dirty.clear();
         for &net in changed {
             for &(gate, _) in self.netlist.loads(net) {
+                // Static gates only read constant nets, so they can never be
+                // marked dirty by a real shift delta; the guard is belt and
+                // braces against a caller feeding foreign change lists.
+                if self.static_count > 0 && self.static_gate[gate.index()] {
+                    continue;
+                }
                 let stamp = &mut self.stamp[gate.index()];
                 if *stamp != self.epoch {
                     *stamp = self.epoch;
@@ -1062,6 +1173,145 @@ mod tests {
                 );
             }
         }
+    }
+
+    /// The lint-facts pin limit must match the leakage model's actual pin
+    /// cap (the 31-slot pin buffer of `gate_leakage_lanes_into` and the
+    /// `gate_table` fanin assert); the constant is mirrored, not imported,
+    /// because the dependency runs lint -> power.
+    #[test]
+    fn lint_pin_limit_matches_the_leakage_model() {
+        assert_eq!(scanpower_lint::LEAKAGE_PIN_LIMIT, 31);
+    }
+
+    /// A facts-carrying observer must reproduce the plain observer (and the
+    /// scalar replay) **bit for bit** while actually skipping gates — on a
+    /// low-activity configuration, across 64/256/512 lanes, both propagation
+    /// modes and both lookup modes.
+    #[test]
+    fn facts_skipping_observer_matches_scalar_observer_bitwise() {
+        use scanpower_lint::LintFacts;
+        use scanpower_sim::patterns::random_bool_patterns;
+        use scanpower_sim::scan::{ScanPattern, ScanShiftSim, ShiftConfig};
+        use scanpower_sim::{PackedScanShiftSim, Propagation, Wide256, Wide512};
+
+        let n = bench::parse(bench::S27_BENCH, "s27").unwrap();
+        let library = LeakageLibrary::cmos45();
+        let pi = n.primary_inputs().len();
+        let ff = n.dff_count();
+        // 300 patterns: full and partial blocks at every lane width.
+        let patterns: Vec<ScanPattern> = random_bool_patterns(pi + ff, 300, 41)
+            .into_iter()
+            .map(|bits| ScanPattern::from_bools(&bits[..pi], &bits[pi..]))
+            .collect();
+
+        // Held PIs plus two forced scan cells: a realistic low-activity
+        // shift where the analysis settles part of the circuit.
+        let mut config = ShiftConfig::with_pi_control(ff, vec![Logic::Zero; pi]);
+        config.forced_pseudo[0] = Some(Logic::One);
+        config.forced_pseudo[1] = Some(Logic::Zero);
+        let facts = LintFacts::analyze_shift(&n, &config);
+        assert!(
+            facts.static_gate_count() > 0,
+            "the low-activity config must settle at least one gate"
+        );
+
+        for lookup in [LeakageLookup::LaneParallel, LeakageLookup::Scalar] {
+            let estimator = LeakageEstimator::with_lookup(&n, &library, lookup);
+            let mut scalar_average = LeakageAverage::new();
+            ScanShiftSim::new(&n).run_with_observer(&n, &patterns, &config, |phase, values| {
+                if phase == ShiftPhase::Shift {
+                    scalar_average.add(estimator.circuit_leakage(&n, values));
+                }
+            });
+
+            let sim = PackedScanShiftSim::new(&n);
+            for propagation in [Propagation::EventDriven, Propagation::FullSweep] {
+                let mut packed = PackedShiftLeakage::with_facts(&n, &estimator, &facts);
+                assert_eq!(packed.static_gates_skipped(), facts.static_gate_count());
+                let _ = sim.run_cycles(&n, &patterns, &config, propagation, |cycle| {
+                    packed.observe_cycle(cycle);
+                });
+                let packed = packed.into_average();
+                assert_eq!(packed.samples(), scalar_average.samples());
+                assert_eq!(
+                    packed.average_na().to_bits(),
+                    scalar_average.average_na().to_bits(),
+                    "{propagation:?} / {lookup:?}: facts-skipping 64-lane average"
+                );
+
+                let mut wide256 = PackedShiftLeakage::<Wide256>::with_facts(&n, &estimator, &facts);
+                let _ = sim.run_cycles_wide::<Wide256, _>(
+                    &n,
+                    &patterns,
+                    &config,
+                    propagation,
+                    |cycle| {
+                        wide256.observe_cycle(cycle);
+                    },
+                );
+                assert_eq!(
+                    wide256.into_average().average_na().to_bits(),
+                    scalar_average.average_na().to_bits(),
+                    "{propagation:?} / {lookup:?}: facts-skipping 256-lane average"
+                );
+
+                let mut wide512 = PackedShiftLeakage::<Wide512>::with_facts(&n, &estimator, &facts);
+                let _ = sim.run_cycles_wide::<Wide512, _>(
+                    &n,
+                    &patterns,
+                    &config,
+                    propagation,
+                    |cycle| {
+                        wide512.observe_cycle(cycle);
+                    },
+                );
+                assert_eq!(
+                    wide512.into_average().average_na().to_bits(),
+                    scalar_average.average_na().to_bits(),
+                    "{propagation:?} / {lookup:?}: facts-skipping 512-lane average"
+                );
+            }
+        }
+    }
+
+    /// Skipping with an *unconstrained* analysis (no held PIs, nothing
+    /// forced) must be a clean no-op: zero static gates, plain-observer
+    /// behaviour, bit-identical average.
+    #[test]
+    fn facts_without_static_gates_are_a_noop() {
+        use scanpower_lint::LintFacts;
+        use scanpower_sim::patterns::random_bool_patterns;
+        use scanpower_sim::scan::{ScanPattern, ShiftConfig};
+        use scanpower_sim::{PackedScanShiftSim, Propagation};
+
+        let n = bench::parse(bench::S27_BENCH, "s27").unwrap();
+        let library = LeakageLibrary::cmos45();
+        let estimator = LeakageEstimator::new(&n, &library);
+        let pi = n.primary_inputs().len();
+        let ff = n.dff_count();
+        let patterns: Vec<ScanPattern> = random_bool_patterns(pi + ff, 70, 43)
+            .into_iter()
+            .map(|bits| ScanPattern::from_bools(&bits[..pi], &bits[pi..]))
+            .collect();
+        let config = ShiftConfig::traditional(ff);
+        let facts = LintFacts::analyze_shift(&n, &config);
+        assert_eq!(facts.static_gate_count(), 0);
+
+        let sim = PackedScanShiftSim::new(&n);
+        let mut plain = PackedShiftLeakage::new(&n, &estimator);
+        let _ = sim.run_cycles(&n, &patterns, &config, Propagation::EventDriven, |cycle| {
+            plain.observe_cycle(cycle);
+        });
+        let mut with_facts = PackedShiftLeakage::with_facts(&n, &estimator, &facts);
+        assert_eq!(with_facts.static_gates_skipped(), 0);
+        let _ = sim.run_cycles(&n, &patterns, &config, Propagation::EventDriven, |cycle| {
+            with_facts.observe_cycle(cycle);
+        });
+        assert_eq!(
+            plain.into_average().average_na().to_bits(),
+            with_facts.into_average().average_na().to_bits()
+        );
     }
 
     /// The wide lane gather (`circuit_leakage_lanes::<Wide256>`) must equal

@@ -1,0 +1,87 @@
+//! Lints netlists and exits non-zero when any Error-severity diagnostic is
+//! found, so CI can gate on it.
+//!
+//! Run with `cargo run --release --example netlist_lint [FILE.bench ...]`.
+//!
+//! With file arguments, each file is parsed and linted through the
+//! [`lint_bench`] front door (parse errors become `SPL009`/`SPL003`
+//! diagnostics with line numbers instead of aborting the run). Without
+//! arguments, the example lints the embedded `s27` benchmark plus the
+//! synthetic Table I circuits.
+//!
+//! Environment knobs (for the no-argument mode):
+//!
+//! * `SCANPOWER_CIRCUITS` — comma-separated Table I circuit names
+//!   (default: all 12);
+//! * `SCANPOWER_SCALE`    — shrink factor for the synthetic circuits, e.g.
+//!   `0.25` for a quick smoke run (default: 1.0);
+//! * `SCANPOWER_SEED`     — synthetic-netlist seed (default: 1);
+//! * `SCANPOWER_JSON`     — set to `1` to print machine-readable JSON
+//!   reports instead of text.
+
+use scanpower_suite::lint::{lint_bench, lint_netlist, LintReport, Severity};
+use scanpower_suite::netlist::bench;
+use scanpower_suite::netlist::generator::{CircuitFamily, TABLE1_CIRCUITS};
+
+fn print_report(report: &LintReport, json: bool) {
+    if json {
+        println!("{}", report.to_json());
+    } else {
+        print!("{}", report.to_text());
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let json = std::env::var("SCANPOWER_JSON").is_ok_and(|v| v == "1");
+    let files: Vec<String> = std::env::args().skip(1).collect();
+
+    let mut reports: Vec<LintReport> = Vec::new();
+    if files.is_empty() {
+        let circuits: Vec<String> = std::env::var("SCANPOWER_CIRCUITS")
+            .map(|s| s.split(',').map(|c| c.trim().to_owned()).collect())
+            .unwrap_or_else(|_| TABLE1_CIRCUITS.iter().map(|&c| c.to_owned()).collect());
+        let scale: f64 = std::env::var("SCANPOWER_SCALE")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(1.0);
+        let seed: u64 = std::env::var("SCANPOWER_SEED")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(1);
+
+        eprintln!(
+            "linting the embedded s27 and {} synthetic Table I circuit(s) at scale {scale}",
+            circuits.len()
+        );
+        reports.push(lint_bench(bench::S27_BENCH, "s27").report);
+        for name in &circuits {
+            let mut spec = CircuitFamily::iscas89_like(name)?;
+            if (scale - 1.0).abs() > f64::EPSILON {
+                spec = spec.scaled(scale);
+            }
+            let netlist = spec.generate(seed);
+            reports.push(lint_netlist(&netlist));
+        }
+    } else {
+        for path in &files {
+            let text = std::fs::read_to_string(path)?;
+            reports.push(lint_bench(&text, path).report);
+        }
+    }
+
+    let mut errors = 0;
+    let mut warnings = 0;
+    for report in &reports {
+        print_report(report, json);
+        errors += report.count(Severity::Error);
+        warnings += report.count(Severity::Warning);
+    }
+    eprintln!(
+        "linted {} netlist(s): {errors} error(s), {warnings} warning(s)",
+        reports.len()
+    );
+    if errors > 0 {
+        std::process::exit(1);
+    }
+    Ok(())
+}

@@ -19,6 +19,7 @@
 
 pub use scanpower_atpg as atpg;
 pub use scanpower_core as core;
+pub use scanpower_lint as lint;
 pub use scanpower_netlist as netlist;
 pub use scanpower_power as power;
 pub use scanpower_sim as sim;

@@ -8,7 +8,7 @@ use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
 use scanpower_bench::bench_circuit;
 use scanpower_power::{InputVectorControl, LeakageEstimator, LeakageLibrary, LeakageObservability};
-use scanpower_sim::{BlockDriver, Logic};
+use scanpower_sim::{BlockDriver, Canceled, JobPolicy, Logic};
 
 fn parallel_blocks(c: &mut Criterion) {
     let circuit = bench_circuit("s1238");
@@ -34,6 +34,33 @@ fn parallel_blocks(c: &mut Criterion) {
     });
     c.bench_function("parallel/ivc_512_auto_threads", |b| {
         b.iter(|| automatic.search(black_box(&circuit), &estimator, &template));
+    });
+
+    // Supervision overhead: the same trivial 64-job map on the plain
+    // driver vs map_supervised (catch_unwind + a fresh JobContext and
+    // CancelFlag per job). The absolute gap is the per-job price of the
+    // fault isolation run_table1_partial buys.
+    let driver = BlockDriver::sequential();
+    assert_eq!(
+        driver
+            .map_supervised(64, JobPolicy::default(), |context| {
+                Ok::<usize, Canceled>(context.job() * 3)
+            })
+            .into_iter()
+            .collect::<Result<Vec<_>, _>>()
+            .expect("no job fails"),
+        driver.map(64, |job| job * 3),
+        "supervision must not change a clean map's results"
+    );
+    c.bench_function("parallel/map_64_jobs_plain", |b| {
+        b.iter(|| driver.map(black_box(64), |job| job * 3));
+    });
+    c.bench_function("parallel/map_64_jobs_supervised", |b| {
+        b.iter(|| {
+            driver.map_supervised(black_box(64), JobPolicy::default(), |context| {
+                Ok::<usize, Canceled>(context.job() * 3)
+            })
+        });
     });
 
     c.bench_function("parallel/observability_16_blocks_sequential", |b| {

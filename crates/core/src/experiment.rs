@@ -7,6 +7,8 @@
 //! (Equation (5)) of the combinational part during scan, plus the
 //! improvement percentages of the proposed structure over both baselines.
 
+use std::time::Duration;
+
 use serde::{Deserialize, Serialize};
 
 use scanpower_atpg::{AtpgConfig, AtpgFlow};
@@ -17,12 +19,15 @@ use scanpower_power::{
     DynamicPower, LeakageAverage, LeakageEstimator, LeakageLibrary, LeakageLookup,
     PackedShiftLeakage,
 };
+use scanpower_sim::failpoint;
 use scanpower_sim::scan::{ScanPattern, ScanShiftSim, ShiftConfig, ShiftPhase, ShiftStats};
 use scanpower_sim::{
-    BlockDriver, PackedLogicWord, PackedScanShiftSim, PackedWord, Propagation, Wide256, Wide512,
+    BlockDriver, CancelFlag, Canceled, JobFailure, JobPolicy, PackedLogicWord, PackedScanShiftSim,
+    PackedWord, Propagation, Wide256, Wide512,
 };
 
 use crate::baseline::{traditional_shift_config, InputControlBaseline};
+use crate::error::{ExperimentError, ExperimentResult};
 use crate::proposed::{ProposedMethod, ProposedOptions};
 
 /// Dynamic and static scan power of one structure (one cell of Table I).
@@ -105,6 +110,26 @@ fn improvement(reference: f64, improved: f64) -> f64 {
     }
 }
 
+/// Resource ceilings checked **before** a circuit's experiment dispatches
+/// any simulation work. A circuit over a ceiling is refused with a
+/// deterministic [`ExperimentError::ResourceLimit`] — the supervision
+/// story's guard against one oversized submission starving every sibling
+/// job. `None` (the default) means unlimited.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ResourceLimits {
+    /// Refuse circuits with more than this many combinational gates
+    /// (checked before ATPG runs).
+    #[serde(default)]
+    pub max_gates: Option<usize>,
+    /// Refuse experiments whose replayed pattern count exceeds this
+    /// ceiling (checked after ATPG and the
+    /// [`ExperimentOptions::max_patterns`] truncation, before any replay).
+    /// Unlike `max_patterns` — which silently *caps* the workload — this is
+    /// a hard refusal.
+    #[serde(default)]
+    pub max_replayed_patterns: Option<usize>,
+}
+
 /// Options of the per-circuit experiment.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ExperimentOptions {
@@ -176,6 +201,23 @@ pub struct ExperimentOptions {
     /// replay.
     #[serde(default = "default_lint_facts_skip")]
     pub lint_facts_skip: bool,
+    /// Resource ceilings checked before any simulation work dispatches —
+    /// see [`ResourceLimits`]. Unlimited by default.
+    #[serde(default)]
+    pub limits: ResourceLimits,
+    /// Extra attempts [`run_table1_partial`] grants a circuit job whose
+    /// attempt **panicked** (the transient-failure model; typed errors are
+    /// deterministic and never retried). `0` (the default) fails fast.
+    #[serde(default)]
+    pub retries: u32,
+    /// Per-attempt deadline for [`run_table1_partial`] circuit jobs, in
+    /// milliseconds. The deadline is cooperative: the replay polls a
+    /// [`CancelFlag`] once per packed block and the job winds down with a
+    /// deterministic [`ExperimentError::Canceled`] row. `None` (the
+    /// default) never cancels. Note that a deadline makes *whether* a row
+    /// survives timing-dependent — surviving rows are still bit-identical.
+    #[serde(default)]
+    pub job_deadline_ms: Option<u64>,
 }
 
 fn default_packed_replay() -> bool {
@@ -211,6 +253,9 @@ impl Default for ExperimentOptions {
             scalar_leakage_lookup: false,
             lint_preflight: default_lint_preflight(),
             lint_facts_skip: default_lint_facts_skip(),
+            limits: ResourceLimits::default(),
+            retries: 0,
+            job_deadline_ms: None,
         }
     }
 }
@@ -287,8 +332,14 @@ impl CircuitExperiment {
     /// (equally bit-identical) scalar enumeration for cross-checks. The
     /// packed replay's block size follows
     /// [`ExperimentOptions::lane_width`] (64 on [`PackedWord`], 256/512 on
-    /// the wide words — bit-identical at every width; an unsupported width
-    /// panics).
+    /// the wide words — bit-identical at every width).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unsupported [`ExperimentOptions::lane_width`] — the
+    /// thin panicking wrapper over
+    /// [`CircuitExperiment::try_evaluate_scheme_stats`], which returns the
+    /// typed [`ExperimentError`] instead.
     #[must_use]
     pub fn evaluate_scheme_stats(
         &self,
@@ -296,6 +347,42 @@ impl CircuitExperiment {
         patterns: &[ScanPattern],
         config: &ShiftConfig,
     ) -> (SchemePower, ShiftStats) {
+        self.try_evaluate_scheme_stats(netlist, patterns, config)
+            .unwrap_or_else(|error| panic!("{error}"))
+    }
+
+    /// The fallible sibling of
+    /// [`CircuitExperiment::evaluate_scheme_stats`]: an unsupported
+    /// [`ExperimentOptions::lane_width`] comes back as
+    /// [`ExperimentError::UnsupportedLaneWidth`] instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExperimentError::UnsupportedLaneWidth`] when
+    /// [`ExperimentOptions::lane_width`] is not 64, 256 or 512.
+    pub fn try_evaluate_scheme_stats(
+        &self,
+        netlist: &Netlist,
+        patterns: &[ScanPattern],
+        config: &ShiftConfig,
+    ) -> ExperimentResult<(SchemePower, ShiftStats)> {
+        self.scheme_stats(netlist, patterns, config, None)
+    }
+
+    /// The cancellable scheme replay behind both public entry points: the
+    /// packed replay polls `cancel` once per block
+    /// ([`PackedScanShiftSim::try_run_cycles_wide`]); the scalar replay
+    /// checks it once before replaying.
+    fn scheme_stats(
+        &self,
+        netlist: &Netlist,
+        patterns: &[ScanPattern],
+        config: &ShiftConfig,
+        cancel: Option<&CancelFlag>,
+    ) -> ExperimentResult<(SchemePower, ShiftStats)> {
+        let canceled = || ExperimentError::Canceled {
+            circuit: netlist.name().to_owned(),
+        };
         // The scalar replay only ever calls `circuit_leakage`, which never
         // touches the ternary tables — skip the precompute there too.
         let lookup = if self.options.scalar_leakage_lookup || !self.options.packed_replay {
@@ -318,7 +405,7 @@ impl CircuitExperiment {
                 None
             };
             let facts = facts.as_ref();
-            match self.options.lane_width {
+            let replayed = match self.options.lane_width {
                 64 => packed_scheme_replay::<PackedWord>(
                     netlist,
                     patterns,
@@ -326,6 +413,7 @@ impl CircuitExperiment {
                     propagation,
                     &estimator,
                     facts,
+                    cancel,
                 ),
                 256 => packed_scheme_replay::<Wide256>(
                     netlist,
@@ -334,6 +422,7 @@ impl CircuitExperiment {
                     propagation,
                     &estimator,
                     facts,
+                    cancel,
                 ),
                 512 => packed_scheme_replay::<Wide512>(
                     netlist,
@@ -342,10 +431,17 @@ impl CircuitExperiment {
                     propagation,
                     &estimator,
                     facts,
+                    cancel,
                 ),
-                other => panic!("unsupported lane_width {other}: expected 64, 256 or 512"),
-            }
+                other => return Err(ExperimentError::UnsupportedLaneWidth(other)),
+            };
+            replayed.map_err(|Canceled| canceled())?
         } else {
+            // The scalar replay has no block seam to poll from; honour the
+            // flag at scheme granularity instead.
+            if let Some(cancel) = cancel {
+                cancel.checkpoint().map_err(|Canceled| canceled())?;
+            }
             let sim = ScanShiftSim::new(netlist);
             let mut leakage = LeakageAverage::new();
             let stats = sim.run_with_observer(netlist, patterns, config, |phase, values| {
@@ -362,29 +458,116 @@ impl CircuitExperiment {
             total_toggles: stats.total_toggles,
             shift_cycles: stats.shift_cycles,
         };
-        (power, stats)
+        Ok((power, stats))
     }
 
     /// Runs the full Table I comparison for `netlist`.
     ///
     /// # Panics
     ///
-    /// Panics if the netlist is not a valid full-scan circuit (no scan
-    /// cells, or a cyclic combinational part), or — with
-    /// [`ExperimentOptions::lint_preflight`] on (the default) — if the
-    /// static-analysis preflight finds any Error-severity diagnostic; the
-    /// panic message carries the full lint report.
+    /// The thin panicking wrapper over [`CircuitExperiment::try_run`]: any
+    /// [`ExperimentError`] — no scan cells, a lint-preflight rejection
+    /// (the panic message carries the full report), a resource ceiling, an
+    /// unsupported lane width, a netlist validation failure — panics with
+    /// the error's deterministic `Display` message.
     #[must_use]
     pub fn run(&self, netlist: &Netlist) -> CircuitRow {
-        assert!(netlist.dff_count() > 0, "full-scan circuit required");
-        if self.options.lint_preflight {
-            let report = lint_netlist(netlist);
-            assert!(
-                !report.has_errors(),
-                "lint preflight rejected the circuit:\n{}",
-                report.to_text()
-            );
+        self.try_run(netlist)
+            .unwrap_or_else(|error| panic!("{error}"))
+    }
+
+    /// Runs the static-analysis preflight and refuses — with the full lint
+    /// report as [`ExperimentError::Lint`] — any circuit carrying an
+    /// Error-severity finding. [`CircuitExperiment::try_run`] calls this
+    /// when [`ExperimentOptions::lint_preflight`] is on (the default); it
+    /// is public so services can validate a submission without paying for
+    /// an experiment.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExperimentError::Lint`] carrying the full [`LintReport`]
+    /// when the report [has errors][`LintReport::has_errors`].
+    ///
+    /// [`LintReport`]: scanpower_lint::LintReport
+    /// [`LintReport::has_errors`]: scanpower_lint::LintReport::has_errors
+    pub fn lint_preflight(&self, netlist: &Netlist) -> ExperimentResult<()> {
+        let report = lint_netlist(netlist);
+        if report.has_errors() {
+            Err(report.into())
+        } else {
+            Ok(())
         }
+    }
+
+    /// Checks the [`ResourceLimits`] ceilings that are knowable before any
+    /// work dispatches.
+    fn check_gate_limit(&self, netlist: &Netlist) -> ExperimentResult<()> {
+        if let Some(limit) = self.options.limits.max_gates {
+            let actual = netlist.gate_count();
+            if actual > limit {
+                return Err(ExperimentError::ResourceLimit {
+                    circuit: netlist.name().to_owned(),
+                    resource: "gates",
+                    limit,
+                    actual,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// The fallible Table I comparison: every failure mode of
+    /// [`CircuitExperiment::run`] comes back as a typed
+    /// [`ExperimentError`] instead of a panic.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExperimentError::NoScanCells`] for circuits without scan
+    /// cells, [`ExperimentError::ResourceLimit`] when a
+    /// [`ResourceLimits`] ceiling refuses the circuit,
+    /// [`ExperimentError::Lint`] when the preflight (on by default) finds
+    /// Error-severity diagnostics, [`ExperimentError::Netlist`] when a
+    /// transformation step fails, and
+    /// [`ExperimentError::UnsupportedLaneWidth`] for a bad
+    /// [`ExperimentOptions::lane_width`].
+    pub fn try_run(&self, netlist: &Netlist) -> ExperimentResult<CircuitRow> {
+        self.try_run_with_cancel(netlist, None)
+    }
+
+    /// [`CircuitExperiment::try_run`] with cooperative cancellation: the
+    /// flag is polled at every scheme boundary and — in the packed replay —
+    /// at every ≤`lane_width`-pattern block boundary, wound down as a
+    /// deterministic [`ExperimentError::Canceled`].
+    ///
+    /// # Errors
+    ///
+    /// Everything [`CircuitExperiment::try_run`] returns, plus
+    /// [`ExperimentError::Canceled`] once `cancel` trips.
+    pub fn try_run_with_cancel(
+        &self,
+        netlist: &Netlist,
+        cancel: Option<&CancelFlag>,
+    ) -> ExperimentResult<CircuitRow> {
+        let canceled = || ExperimentError::Canceled {
+            circuit: netlist.name().to_owned(),
+        };
+        let checkpoint = || -> ExperimentResult<()> {
+            match cancel {
+                Some(flag) => flag.checkpoint().map_err(|Canceled| canceled()),
+                None => Ok(()),
+            }
+        };
+
+        if netlist.dff_count() == 0 {
+            return Err(ExperimentError::NoScanCells {
+                circuit: netlist.name().to_owned(),
+            });
+        }
+        self.check_gate_limit(netlist)?;
+        if self.options.lint_preflight {
+            self.lint_preflight(netlist)?;
+        }
+        checkpoint()?;
 
         // Test set (the ATOM substitute). No test-vector or scan-cell
         // reordering is applied, exactly like the paper's experiments.
@@ -393,35 +576,51 @@ impl CircuitExperiment {
         if let Some(limit) = self.options.max_patterns {
             patterns.truncate(limit);
         }
+        if let Some(limit) = self.options.limits.max_replayed_patterns {
+            if patterns.len() > limit {
+                return Err(ExperimentError::ResourceLimit {
+                    circuit: netlist.name().to_owned(),
+                    resource: "patterns",
+                    limit,
+                    actual: patterns.len(),
+                });
+            }
+        }
+        checkpoint()?;
 
         // Traditional scan.
-        let traditional =
-            self.evaluate_scheme(netlist, &patterns, &traditional_shift_config(netlist));
+        let (traditional, _) = self.scheme_stats(
+            netlist,
+            &patterns,
+            &traditional_shift_config(netlist),
+            cancel,
+        )?;
 
         // Input control [8].
         let baseline = InputControlBaseline::new();
         let input_control_plan = baseline.plan(netlist);
-        let input_control = self.evaluate_scheme(
+        let (input_control, _) = self.scheme_stats(
             netlist,
             &patterns,
             &baseline.shift_config(netlist, &input_control_plan),
-        );
+            cancel,
+        )?;
+        checkpoint()?;
 
         // Proposed structure.
-        let proposed_result = ProposedMethod::new(self.options.proposed.clone())
-            .apply(netlist)
-            .expect("netlist was already validated");
+        let proposed_result = ProposedMethod::new(self.options.proposed.clone()).apply(netlist)?;
         let adapted = proposed_result.structure.adapt_patterns(&patterns);
         let proposed_config = proposed_result
             .structure
             .shift_config(&proposed_result.scan_mode_pi);
-        let proposed = self.evaluate_scheme(
+        let (proposed, _) = self.scheme_stats(
             proposed_result.structure.netlist(),
             &adapted,
             &proposed_config,
-        );
+            cancel,
+        )?;
 
-        CircuitRow {
+        Ok(CircuitRow {
             circuit: netlist.name().to_owned(),
             gates: netlist.gate_count(),
             flip_flops: netlist.dff_count(),
@@ -431,7 +630,7 @@ impl CircuitExperiment {
             traditional,
             input_control,
             proposed,
-        }
+        })
     }
 }
 
@@ -439,6 +638,7 @@ impl CircuitExperiment {
 /// pass, with the lane-aware static-power observer riding the per-cycle
 /// delta — the width-generic engine behind
 /// [`CircuitExperiment::evaluate_scheme_stats`]'s `lane_width` dispatch.
+/// `cancel` is polled once per block by the replay.
 fn packed_scheme_replay<W: PackedLogicWord>(
     netlist: &Netlist,
     patterns: &[ScanPattern],
@@ -446,16 +646,18 @@ fn packed_scheme_replay<W: PackedLogicWord>(
     propagation: Propagation,
     estimator: &LeakageEstimator,
     facts: Option<&LintFacts>,
-) -> (ShiftStats, LeakageAverage) {
+    cancel: Option<&CancelFlag>,
+) -> Result<(ShiftStats, LeakageAverage), Canceled> {
     let sim = PackedScanShiftSim::new(netlist);
     let mut leakage = match facts {
         Some(facts) => PackedShiftLeakage::<W>::with_facts(netlist, estimator, facts),
         None => PackedShiftLeakage::<W>::new(netlist, estimator),
     };
-    let stats = sim.run_cycles_wide::<W, _>(netlist, patterns, config, propagation, |cycle| {
-        leakage.observe_cycle(cycle);
-    });
-    (stats, leakage.into_average())
+    let stats =
+        sim.try_run_cycles_wide::<W, _>(netlist, patterns, config, propagation, cancel, |cycle| {
+            leakage.observe_cycle(cycle);
+        })?;
+    Ok((stats, leakage.into_average()))
 }
 
 /// A complete Table I reproduction.
@@ -535,6 +737,64 @@ fn average(values: impl Iterator<Item = f64>) -> f64 {
     }
 }
 
+/// The partial-results Table I run: one outcome per circuit spec, in spec
+/// order — surviving circuits hold their [`CircuitRow`], failed circuits
+/// hold their [`ExperimentError`] in the same deterministic slot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table1Outcome {
+    /// One outcome per circuit specification, in specification order.
+    pub outcomes: Vec<ExperimentResult<CircuitRow>>,
+}
+
+impl Table1Outcome {
+    /// `true` when every circuit survived.
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        self.outcomes.iter().all(Result::is_ok)
+    }
+
+    /// The surviving rows, in specification order — the degraded report a
+    /// partial failure leaves behind. Surviving rows are bit-identical to
+    /// the same circuits' rows in a fault-free run.
+    #[must_use]
+    pub fn report(&self) -> Table1Report {
+        Table1Report {
+            rows: self
+                .outcomes
+                .iter()
+                .filter_map(|outcome| outcome.as_ref().ok().cloned())
+                .collect(),
+        }
+    }
+
+    /// The failed slots: `(spec_index, error)` pairs in specification
+    /// order.
+    #[must_use]
+    pub fn failures(&self) -> Vec<(usize, &ExperimentError)> {
+        self.outcomes
+            .iter()
+            .enumerate()
+            .filter_map(|(index, outcome)| outcome.as_ref().err().map(|error| (index, error)))
+            .collect()
+    }
+
+    /// All-or-nothing view: the full report when every circuit survived,
+    /// otherwise the **first** (lowest spec index) failure — the
+    /// deterministic choice whatever order the failures happened in.
+    ///
+    /// # Errors
+    ///
+    /// Returns the lowest-spec-index [`ExperimentError`] when any circuit
+    /// failed.
+    pub fn into_report(self) -> ExperimentResult<Table1Report> {
+        let mut rows = Vec::with_capacity(self.outcomes.len());
+        for outcome in self.outcomes {
+            rows.push(outcome?);
+        }
+        Ok(Table1Report { rows })
+    }
+}
+
 /// Runs the Table I experiment over the given circuit specifications.
 ///
 /// `scale` optionally shrinks the synthetic circuits (gate and flip-flop
@@ -555,6 +815,12 @@ fn average(values: impl Iterator<Item = f64>) -> f64 {
 /// to N² workers. Explicit non-zero inner counts are respected, and the
 /// budgeting cannot change the report: every inner consumer is
 /// bit-identical for any thread count.
+///
+/// # Panics
+///
+/// The thin all-or-nothing wrapper over [`run_table1_partial`]: if any
+/// circuit fails, panics with the first (lowest spec index) failure's
+/// deterministic [`ExperimentError`] message.
 #[must_use]
 pub fn run_table1(
     specs: &[CircuitFamily],
@@ -562,6 +828,38 @@ pub fn run_table1(
     scale: Option<f64>,
     seed: u64,
 ) -> Table1Report {
+    run_table1_partial(specs, options, scale, seed)
+        .into_report()
+        .unwrap_or_else(|error| panic!("{error}"))
+}
+
+/// The fault-tolerant sibling of [`run_table1`]: same sharding, same
+/// budgeting, same bit-identity — but each circuit runs as a *supervised*
+/// [`BlockDriver`] job ([`BlockDriver::map_supervised`]) and failures
+/// degrade per circuit instead of tearing the run down.
+///
+/// Per job, the supervision applies [`ExperimentOptions`]' robustness
+/// knobs: panicking attempts are isolated with `catch_unwind` and retried
+/// up to [`retries`](ExperimentOptions::retries) extra times; a
+/// [`job_deadline_ms`](ExperimentOptions::job_deadline_ms) deadline is
+/// polled cooperatively at the replay's block boundaries; the
+/// [`limits`](ExperimentOptions::limits) ceilings refuse oversized
+/// circuits before any simulation dispatches. Surviving circuits return
+/// rows **bit-identical** to a fault-free run — in spec order, at any
+/// thread count, whatever subset of siblings failed — and a deterministic
+/// failure produces the same [`ExperimentError`] in the same slot on every
+/// run.
+///
+/// The `core::experiment::circuit` failpoint (keyed by spec index) fires
+/// inside each supervised attempt, before the circuit's experiment — the
+/// fault-injection seam the partial-failure suite drives.
+#[must_use]
+pub fn run_table1_partial(
+    specs: &[CircuitFamily],
+    options: &ExperimentOptions,
+    scale: Option<f64>,
+    seed: u64,
+) -> Table1Outcome {
     let driver = BlockDriver::new(options.threads);
     let mut options = options.clone();
     let workers = driver.threads().min(specs.len());
@@ -574,16 +872,42 @@ pub fn run_table1(
             options.proposed.threads = inner_budget;
         }
     }
+    let mut policy = JobPolicy::default().with_retries(options.retries);
+    if let Some(deadline_ms) = options.job_deadline_ms {
+        policy = policy.with_deadline(Duration::from_millis(deadline_ms));
+    }
     let experiment = CircuitExperiment::new(options);
-    let rows = driver.map(specs.len(), |job| {
+    let outcomes = driver.map_supervised(specs.len(), policy, |context| {
+        let job = context.job();
         let spec = match scale {
             Some(factor) => specs[job].scaled(factor),
             None => specs[job].clone(),
         };
         let circuit = spec.generate(seed);
-        experiment.run(&circuit)
+        failpoint::hit("core::experiment::circuit", job as u64).map_err(|fault| {
+            ExperimentError::WorkerFailed {
+                circuit: circuit.name().to_owned(),
+                message: fault.to_string(),
+                attempts: context.attempt(),
+            }
+        })?;
+        experiment.try_run_with_cancel(&circuit, Some(context.cancel_flag()))
     });
-    Table1Report { rows }
+    let outcomes = outcomes
+        .into_iter()
+        .zip(specs)
+        .map(|(outcome, spec)| {
+            outcome.map_err(|job_error| match job_error.failure {
+                JobFailure::Error(error) => error,
+                JobFailure::Panicked { message } => ExperimentError::WorkerFailed {
+                    circuit: spec.name().to_owned(),
+                    message,
+                    attempts: job_error.attempts,
+                },
+            })
+        })
+        .collect();
+    Table1Outcome { outcomes }
 }
 
 #[cfg(test)]
@@ -832,6 +1156,264 @@ mod tests {
         n.add_dff(g.output, "q");
         n.mark_output(g.output);
         let _ = CircuitExperiment::new(ExperimentOptions::fast()).run(&n);
+    }
+
+    /// The fallible entry point returns the same rejection as a typed
+    /// error carrying the full report instead of panicking.
+    #[test]
+    fn try_run_returns_the_lint_report_as_a_typed_error() {
+        use scanpower_netlist::GateKind;
+        let mut n = Netlist::new("bad");
+        let a = n.add_input("a");
+        let hole = n.ensure_net("hole");
+        let g = n.add_gate(GateKind::And, &[a, hole], "g");
+        n.add_dff(g.output, "q");
+        n.mark_output(g.output);
+        let experiment = CircuitExperiment::new(ExperimentOptions::fast());
+        let error = experiment.try_run(&n).expect_err("preflight must refuse");
+        let ExperimentError::Lint(report) = &error else {
+            panic!("expected a lint error, got {error:?}");
+        };
+        assert!(report.has_errors());
+        assert!(error.to_string().contains("lint preflight rejected"));
+        // `lint_preflight` is the same check, callable on its own.
+        assert_eq!(experiment.lint_preflight(&n), Err(error));
+    }
+
+    /// A circuit without scan cells is a typed refusal, and the panicking
+    /// wrapper preserves the historical message.
+    #[test]
+    fn circuits_without_scan_cells_are_refused() {
+        use scanpower_netlist::GateKind;
+        let mut n = Netlist::new("comb_only");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let g = n.add_gate(GateKind::And, &[a, b], "g");
+        n.mark_output(g.output);
+        let error = CircuitExperiment::new(ExperimentOptions::fast())
+            .try_run(&n)
+            .expect_err("no scan cells");
+        assert_eq!(
+            error,
+            ExperimentError::NoScanCells {
+                circuit: "comb_only".into()
+            }
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "full-scan circuit required")]
+    fn run_panics_on_circuits_without_scan_cells() {
+        use scanpower_netlist::GateKind;
+        let mut n = Netlist::new("comb_only");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let g = n.add_gate(GateKind::And, &[a, b], "g");
+        n.mark_output(g.output);
+        let _ = CircuitExperiment::new(ExperimentOptions::fast()).run(&n);
+    }
+
+    /// The lane-width dispatch is a typed error through the fallible path;
+    /// the `unsupported_lane_width_panics` test above pins the wrapper.
+    #[test]
+    fn try_evaluate_scheme_stats_rejects_unsupported_widths() {
+        let n = bench::parse(bench::S27_BENCH, "s27").unwrap();
+        let experiment = CircuitExperiment::new(ExperimentOptions {
+            lane_width: 128,
+            ..ExperimentOptions::fast()
+        });
+        let config = traditional_shift_config(&n);
+        let error = experiment
+            .try_evaluate_scheme_stats(&n, &[], &config)
+            .expect_err("128 lanes is not a supported width");
+        assert_eq!(error, ExperimentError::UnsupportedLaneWidth(128));
+    }
+
+    /// Resource ceilings refuse a circuit deterministically before any
+    /// simulation dispatches — gates before ATPG, replayed patterns after
+    /// the `max_patterns` truncation.
+    #[test]
+    fn resource_limits_refuse_oversized_circuits() {
+        let n = bench::parse(bench::S27_BENCH, "s27").unwrap();
+        let gates = n.gate_count();
+
+        let gate_limited = CircuitExperiment::new(ExperimentOptions {
+            limits: ResourceLimits {
+                max_gates: Some(gates - 1),
+                ..ResourceLimits::default()
+            },
+            ..ExperimentOptions::fast()
+        });
+        assert_eq!(
+            gate_limited.try_run(&n).expect_err("over the gate ceiling"),
+            ExperimentError::ResourceLimit {
+                circuit: "s27".into(),
+                resource: "gates",
+                limit: gates - 1,
+                actual: gates,
+            }
+        );
+
+        let pattern_limited = CircuitExperiment::new(ExperimentOptions {
+            limits: ResourceLimits {
+                max_replayed_patterns: Some(1),
+                ..ResourceLimits::default()
+            },
+            ..ExperimentOptions::fast()
+        });
+        let error = pattern_limited
+            .try_run(&n)
+            .expect_err("over the pattern ceiling");
+        let ExperimentError::ResourceLimit {
+            resource, limit, ..
+        } = &error
+        else {
+            panic!("expected a resource limit, got {error:?}");
+        };
+        assert_eq!((*resource, *limit), ("patterns", 1));
+
+        // At the ceiling exactly, the experiment runs.
+        let at_limit = CircuitExperiment::new(ExperimentOptions {
+            limits: ResourceLimits {
+                max_gates: Some(gates),
+                ..ResourceLimits::default()
+            },
+            ..ExperimentOptions::fast()
+        });
+        assert_eq!(
+            at_limit.try_run(&n).expect("at the ceiling is allowed"),
+            CircuitExperiment::new(ExperimentOptions::fast()).run(&n),
+            "limits must not perturb surviving rows"
+        );
+    }
+
+    /// An already-expired deadline cancels deterministically at the first
+    /// checkpoint, through both the direct API and the supervised sharding.
+    #[test]
+    fn zero_deadline_cancels_every_circuit_deterministically() {
+        let n = bench::parse(bench::S27_BENCH, "s27").unwrap();
+        let experiment = CircuitExperiment::new(ExperimentOptions::fast());
+        let expired = CancelFlag::with_deadline(Duration::ZERO);
+        assert_eq!(
+            experiment
+                .try_run_with_cancel(&n, Some(&expired))
+                .expect_err("expired before the first checkpoint"),
+            ExperimentError::Canceled {
+                circuit: "s27".into()
+            }
+        );
+
+        let specs = vec![
+            CircuitFamily::iscas89_like("s344").unwrap(),
+            CircuitFamily::iscas89_like("s382").unwrap(),
+        ];
+        for threads in [1, 3] {
+            let outcome = run_table1_partial(
+                &specs,
+                &ExperimentOptions {
+                    threads,
+                    job_deadline_ms: Some(0),
+                    ..ExperimentOptions::fast()
+                },
+                Some(0.3),
+                1,
+            );
+            assert!(!outcome.is_complete());
+            assert!(outcome.report().rows.is_empty());
+            for (spec, outcome) in specs.iter().zip(&outcome.outcomes) {
+                assert_eq!(
+                    outcome.as_ref().expect_err("deadline already expired"),
+                    &ExperimentError::Canceled {
+                        circuit: spec.name().to_owned()
+                    },
+                    "threads {threads}"
+                );
+            }
+        }
+    }
+
+    /// Partial-results mode, driven without any fault injection: a
+    /// mid-pack gate ceiling fails exactly one circuit; the survivors are
+    /// bit-identical to a clean run in their spec slots across thread
+    /// counts {1, 3, auto}, and the error slot carries the identical
+    /// `ExperimentError` on every run.
+    #[test]
+    fn run_table1_partial_degrades_per_circuit() {
+        let specs = vec![
+            CircuitFamily::iscas89_like("s344").unwrap(),
+            CircuitFamily::iscas89_like("s382").unwrap(),
+            CircuitFamily::iscas89_like("s444").unwrap(),
+        ];
+        let scale = Some(0.3);
+        let gate_counts: Vec<usize> = specs
+            .iter()
+            .map(|spec| spec.scaled(0.3).generate(1).gate_count())
+            .collect();
+        let largest = gate_counts
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &gates)| gates)
+            .map(|(index, _)| index)
+            .unwrap();
+        let ceiling = *gate_counts.iter().max().unwrap() - 1;
+        assert!(
+            gate_counts
+                .iter()
+                .enumerate()
+                .all(|(index, &gates)| index == largest || gates <= ceiling),
+            "the ceiling must single out one circuit: {gate_counts:?}"
+        );
+
+        let clean = run_table1(
+            &specs,
+            &ExperimentOptions {
+                threads: 1,
+                ..ExperimentOptions::fast()
+            },
+            scale,
+            1,
+        );
+
+        let options = |threads: usize| ExperimentOptions {
+            threads,
+            limits: ResourceLimits {
+                max_gates: Some(ceiling),
+                ..ResourceLimits::default()
+            },
+            ..ExperimentOptions::fast()
+        };
+        let reference = run_table1_partial(&specs, &options(1), scale, 1);
+        for threads in [1, 3, 0] {
+            let outcome = run_table1_partial(&specs, &options(threads), scale, 1);
+            assert_eq!(outcome, reference, "threads {threads}: deterministic");
+            assert!(!outcome.is_complete());
+            assert_eq!(outcome.failures().len(), 1);
+            assert_eq!(outcome.failures()[0].0, largest);
+            for (index, slot) in outcome.outcomes.iter().enumerate() {
+                if index == largest {
+                    assert_eq!(
+                        slot.as_ref().expect_err("over the ceiling"),
+                        &ExperimentError::ResourceLimit {
+                            circuit: specs[largest].name().to_owned(),
+                            resource: "gates",
+                            limit: ceiling,
+                            actual: gate_counts[largest],
+                        },
+                        "threads {threads}"
+                    );
+                } else {
+                    assert_eq!(
+                        slot.as_ref().expect("survivor"),
+                        &clean.rows[index],
+                        "threads {threads}: survivors bit-identical to the clean run"
+                    );
+                }
+            }
+            // The degraded report holds exactly the surviving rows, and
+            // the all-or-nothing view surfaces the one failure.
+            assert_eq!(outcome.report().rows.len(), specs.len() - 1);
+            assert!(outcome.clone().into_report().is_err());
+        }
     }
 
     #[test]

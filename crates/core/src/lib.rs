@@ -40,6 +40,7 @@
 
 mod addmux;
 pub mod baseline;
+pub mod error;
 pub mod experiment;
 mod justify;
 mod pattern;
@@ -48,6 +49,7 @@ mod structure;
 mod worklist;
 
 pub use addmux::{AddMux, MuxPlan};
+pub use error::{ExperimentError, ExperimentResult};
 pub use justify::{Directive, Justifier, JustifyOutcome};
 pub use pattern::{ControlPattern, ControlPatternFinder, PatternStats};
 pub use proposed::{ProposedMethod, ProposedOptions, ProposedResult};

@@ -2,6 +2,7 @@ use serde::{Deserialize, Serialize};
 
 use scanpower_lint::LintFacts;
 use scanpower_netlist::{GateId, GateKind, NetId, Netlist};
+use scanpower_sim::failpoint;
 use scanpower_sim::kernel;
 use scanpower_sim::scan::ShiftPhase;
 use scanpower_sim::{Logic, PackedLogicWord, PackedWord, ShiftCycle};
@@ -605,6 +606,12 @@ pub struct PackedShiftLeakage<'a, W: PackedLogicWord = PackedWord> {
     /// `true` once the static gates' contribution-cache slots were filled;
     /// after that every gather skips them entirely.
     static_primed: bool,
+    /// Shift events seen so far — the `power::observer::cycle` failpoint
+    /// key.
+    observed: u64,
+    /// Capture flushes seen so far — the `power::observer::flush` failpoint
+    /// key.
+    flushes: u64,
     /// The word type only shapes the cache stride (`W::LANES`) and the
     /// observed slices; no word is stored.
     marker: std::marker::PhantomData<W>,
@@ -630,6 +637,8 @@ impl<'a, W: PackedLogicWord> PackedShiftLeakage<'a, W> {
             static_value: Vec::new(),
             static_count: 0,
             static_primed: false,
+            observed: 0,
+            flushes: 0,
             marker: std::marker::PhantomData,
         }
     }
@@ -722,6 +731,8 @@ impl<'a, W: PackedLogicWord> PackedShiftLeakage<'a, W> {
     pub fn observe_cycle(&mut self, cycle: &ShiftCycle<'_, W>) {
         match cycle.phase {
             ShiftPhase::Shift => {
+                failpoint::strike("power::observer::cycle", self.observed);
+                self.observed += 1;
                 self.delta_seen |= cycle.changed.is_some();
                 let mut row = self.pool.pop().unwrap_or_default();
                 match (cycle.changed, self.cache_lanes) {
@@ -748,6 +759,8 @@ impl<'a, W: PackedLogicWord> PackedShiftLeakage<'a, W> {
                 self.rows.push(row);
             }
             ShiftPhase::Capture => {
+                failpoint::strike("power::observer::flush", self.flushes);
+                self.flushes += 1;
                 for lane in 0..cycle.lanes {
                     for row in &self.rows {
                         self.average.add(row[lane]);

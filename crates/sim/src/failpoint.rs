@@ -1,0 +1,510 @@
+//! Deterministic fault injection: named failpoints compiled in behind the
+//! `fault-inject` cargo feature.
+//!
+//! A *failpoint* is a named hook compiled into a hot path. In the default
+//! build every hook is an empty `#[inline(always)]` function — the
+//! failpoints compile to no-ops and the replay pipeline costs exactly what
+//! it costs without them. With the `fault-inject` feature enabled, each
+//! hook consults a process-global registry: a test configures a [`Fault`]
+//! (panic, typed error, or delay) against a failpoint name, and the next
+//! matching hit fires it.
+//!
+//! Determinism is the design constraint — the whole point of the harness is
+//! proving the supervised job layer without timing-dependent flakes:
+//!
+//! * every hit carries a **key** (a job index, a block index, a cycle
+//!   ordinal) and a fault can be restricted to one key
+//!   ([`Fault::for_key`]), so a fault targets "circuit 2" or "block 5"
+//!   regardless of which worker thread gets there first;
+//! * counter triggers ([`Fault::on_nth`], [`Fault::after`],
+//!   [`Fault::times`]) count **matching** hits, so a keyed fault's counter
+//!   is driven only by the deterministic stream of its own key;
+//! * fired faults produce fixed messages (`injected fault at failpoint
+//!   `NAME``), so error reports can be pinned bit for bit.
+//!
+//! # Failpoint map
+//!
+//! The names registered across the workspace (see ARCHITECTURE.md for the
+//! full table):
+//!
+//! | name | key | site |
+//! |------|-----|------|
+//! | `sim::driver::job` | job index | each supervised job attempt ([`BlockDriver::map_supervised`](crate::parallel::BlockDriver::map_supervised)) |
+//! | `sim::replay::block` | block index | start of each packed replay block |
+//! | `sim::replay::cycle` | global shift-cycle ordinal | each packed shift cycle |
+//! | `power::observer::cycle` | observed shift-state ordinal | `PackedShiftLeakage` shift accumulation |
+//! | `power::observer::flush` | flush ordinal | `PackedShiftLeakage` capture flush |
+//! | `core::experiment::circuit` | spec index | each `run_table1_partial` circuit job |
+//!
+//! # Test hygiene
+//!
+//! The registry is process-global, so concurrently running tests would
+//! trample each other's configurations. Tests must hold a [`FaultScope`]
+//! (from [`scope`]) for their whole body: it serializes fault-injecting
+//! tests within the process and resets the registry on drop.
+//!
+//! ```
+//! use scanpower_sim::failpoint::{self, Fault};
+//!
+//! let _guard = failpoint::scope(); // serialize + reset on drop
+//! failpoint::configure("sim::driver::job", Fault::error().for_key(2).times(1));
+//! // ... run the workload; job 2's first attempt reports an injected fault ...
+//! # let _ = failpoint::hit("sim::driver::job", 0); // key 0: no fire
+//! ```
+
+use std::fmt;
+use std::time::Duration;
+
+/// What a fired failpoint does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Panic with the fault's fixed message — exercises the
+    /// `catch_unwind` isolation of the supervised job layer.
+    Panic,
+    /// Return a [`FaultError`] from [`hit`] — exercises typed error paths.
+    /// At infallible sites ([`strike`]) an error action panics instead.
+    Error,
+    /// Sleep for the given duration, then continue — exercises deadlines
+    /// and interleaving without changing any result.
+    Delay(Duration),
+}
+
+/// One configured fault: an action plus the deterministic trigger deciding
+/// which hits of the failpoint fire it.
+///
+/// Built with [`Fault::panic`] / [`Fault::error`] / [`Fault::delay`] and
+/// refined with the builder methods; installed with [`configure`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fault {
+    action: FaultAction,
+    key: Option<u64>,
+    skip: u64,
+    times: Option<u64>,
+}
+
+impl Fault {
+    fn new(action: FaultAction) -> Fault {
+        Fault {
+            action,
+            key: None,
+            skip: 0,
+            times: None,
+        }
+    }
+
+    /// A fault that panics when fired.
+    #[must_use]
+    pub fn panic() -> Fault {
+        Fault::new(FaultAction::Panic)
+    }
+
+    /// A fault that surfaces a [`FaultError`] when fired.
+    #[must_use]
+    pub fn error() -> Fault {
+        Fault::new(FaultAction::Error)
+    }
+
+    /// A fault that sleeps for `duration` when fired.
+    #[must_use]
+    pub fn delay(duration: Duration) -> Fault {
+        Fault::new(FaultAction::Delay(duration))
+    }
+
+    /// Restrict the fault to hits carrying exactly this key (a job index,
+    /// block index, …). Hits with other keys neither fire nor advance the
+    /// fault's counters — this is what makes keyed faults deterministic
+    /// under any thread scheduling.
+    #[must_use]
+    pub fn for_key(mut self, key: u64) -> Fault {
+        self.key = Some(key);
+        self
+    }
+
+    /// Skip the first `skip` matching hits before the fault can fire.
+    #[must_use]
+    pub fn after(mut self, skip: u64) -> Fault {
+        self.skip = skip;
+        self
+    }
+
+    /// Fire at most `times` times (unlimited by default).
+    #[must_use]
+    pub fn times(mut self, times: u64) -> Fault {
+        self.times = Some(times);
+        self
+    }
+
+    /// Fire exactly once, on the `n`th matching hit (1-based) — shorthand
+    /// for `.after(n - 1).times(1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero (hits are counted 1-based).
+    #[must_use]
+    pub fn on_nth(self, n: u64) -> Fault {
+        assert!(n >= 1, "hits are counted 1-based");
+        self.after(n - 1).times(1)
+    }
+}
+
+/// The typed error a fired [`FaultAction::Error`] fault surfaces from
+/// [`hit`]. The message is fixed per failpoint name, so reports built from
+/// injected faults are deterministic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultError {
+    failpoint: String,
+}
+
+impl FaultError {
+    /// The name of the failpoint that fired.
+    #[must_use]
+    pub fn failpoint(&self) -> &str {
+        &self.failpoint
+    }
+}
+
+impl fmt::Display for FaultError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "injected fault at failpoint `{}`", self.failpoint)
+    }
+}
+
+impl std::error::Error for FaultError {}
+
+#[cfg(feature = "fault-inject")]
+mod registry {
+    use super::{Fault, FaultAction, FaultError};
+    use std::sync::{Mutex, MutexGuard, PoisonError};
+
+    /// One installed fault plus its hit bookkeeping.
+    #[derive(Debug)]
+    struct State {
+        fault: Fault,
+        /// Matching hits seen so far (hits with a non-matching key are not
+        /// counted — see [`Fault::for_key`]).
+        matched: u64,
+        /// Times the fault actually fired.
+        fired: u64,
+    }
+
+    /// The process-global fault table. A linear scan over a `Vec` — the
+    /// registry holds a handful of entries at most, only in `fault-inject`
+    /// builds, and only tests write it.
+    static REGISTRY: Mutex<Vec<(String, State)>> = Mutex::new(Vec::new());
+
+    /// Serializes fault-injecting tests (see [`super::scope`]).
+    static SCOPE: Mutex<()> = Mutex::new(());
+
+    fn table() -> MutexGuard<'static, Vec<(String, State)>> {
+        // A panic action fires *after* the lock is released, but a test
+        // panicking while configuring would still poison the mutex; the
+        // registry data is always consistent, so poisoning is ignorable.
+        REGISTRY.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    pub fn configure(name: &str, fault: Fault) {
+        let mut table = table();
+        let state = State {
+            fault,
+            matched: 0,
+            fired: 0,
+        };
+        match table.iter_mut().find(|(entry, _)| entry == name) {
+            Some((_, slot)) => *slot = state,
+            None => table.push((name.to_owned(), state)),
+        }
+    }
+
+    pub fn clear(name: &str) {
+        table().retain(|(entry, _)| entry != name);
+    }
+
+    pub fn reset() {
+        table().clear();
+    }
+
+    pub fn fired_count(name: &str) -> u64 {
+        table()
+            .iter()
+            .find(|(entry, _)| entry == name)
+            .map_or(0, |(_, state)| state.fired)
+    }
+
+    pub fn hit(name: &str, key: u64) -> Result<(), FaultError> {
+        // Decide under the lock, act after releasing it: a panic or a sleep
+        // must never happen while the registry is held.
+        let action = {
+            let mut table = table();
+            let Some((_, state)) = table.iter_mut().find(|(entry, _)| entry == name) else {
+                return Ok(());
+            };
+            if state.fault.key.is_some_and(|wanted| wanted != key) {
+                return Ok(());
+            }
+            state.matched += 1;
+            if state.matched <= state.fault.skip {
+                return Ok(());
+            }
+            if state.fault.times.is_some_and(|times| state.fired >= times) {
+                return Ok(());
+            }
+            state.fired += 1;
+            state.fault.action
+        };
+        match action {
+            FaultAction::Panic => panic!("injected fault at failpoint `{name}`"),
+            FaultAction::Error => Err(FaultError {
+                failpoint: name.to_owned(),
+            }),
+            FaultAction::Delay(duration) => {
+                std::thread::sleep(duration);
+                Ok(())
+            }
+        }
+    }
+
+    /// RAII guard serializing fault-injecting tests and resetting the
+    /// registry when dropped — see [`super::scope`].
+    pub struct FaultScope {
+        _lock: MutexGuard<'static, ()>,
+    }
+
+    impl Drop for FaultScope {
+        fn drop(&mut self) {
+            reset();
+        }
+    }
+
+    pub fn scope() -> FaultScope {
+        // A previous fault test panicking (deliberately!) poisons the scope
+        // mutex; the protected data is `()`, so the poison carries no
+        // information.
+        let lock = SCOPE.lock().unwrap_or_else(PoisonError::into_inner);
+        reset();
+        FaultScope { _lock: lock }
+    }
+}
+
+/// Installs (or replaces) the fault configured against failpoint `name`.
+/// Hit counters restart from zero. No-op without the `fault-inject`
+/// feature.
+pub fn configure(name: &str, fault: Fault) {
+    #[cfg(feature = "fault-inject")]
+    registry::configure(name, fault);
+    #[cfg(not(feature = "fault-inject"))]
+    {
+        let _ = (name, fault);
+    }
+}
+
+/// Removes the fault configured against failpoint `name`, if any.
+pub fn clear(name: &str) {
+    #[cfg(feature = "fault-inject")]
+    registry::clear(name);
+    #[cfg(not(feature = "fault-inject"))]
+    {
+        let _ = name;
+    }
+}
+
+/// Removes every configured fault.
+pub fn reset() {
+    #[cfg(feature = "fault-inject")]
+    registry::reset();
+}
+
+/// How many times the fault configured against `name` has fired (0 when
+/// none is configured, and always 0 without the `fault-inject` feature).
+#[must_use]
+pub fn fired_count(name: &str) -> u64 {
+    #[cfg(feature = "fault-inject")]
+    {
+        registry::fired_count(name)
+    }
+    #[cfg(not(feature = "fault-inject"))]
+    {
+        let _ = name;
+        0
+    }
+}
+
+/// The fallible failpoint hook: consults the registry and fires the
+/// configured fault when the trigger matches.
+///
+/// `key` identifies the deterministic unit this hit belongs to (job index,
+/// block index, cycle ordinal — see the [failpoint map](self)).
+///
+/// Without the `fault-inject` feature this is an empty inline function —
+/// the call compiles to nothing.
+///
+/// # Errors
+///
+/// Returns the [`FaultError`] of a fired [`FaultAction::Error`] fault.
+///
+/// # Panics
+///
+/// Panics (with the same fixed message) when a fired fault's action is
+/// [`FaultAction::Panic`].
+#[inline(always)]
+pub fn hit(name: &str, key: u64) -> Result<(), FaultError> {
+    #[cfg(feature = "fault-inject")]
+    {
+        registry::hit(name, key)
+    }
+    #[cfg(not(feature = "fault-inject"))]
+    {
+        let _ = (name, key);
+        Ok(())
+    }
+}
+
+/// The infallible failpoint hook for sites that cannot return an error
+/// (observers, replay inner loops): like [`hit`], but a fired
+/// [`FaultAction::Error`] fault panics with the fault message instead of
+/// returning it.
+///
+/// # Panics
+///
+/// Panics when the fired fault's action is [`FaultAction::Panic`] or
+/// [`FaultAction::Error`].
+#[inline(always)]
+pub fn strike(name: &str, key: u64) {
+    #[cfg(feature = "fault-inject")]
+    if let Err(error) = registry::hit(name, key) {
+        panic!("{error}");
+    }
+    #[cfg(not(feature = "fault-inject"))]
+    {
+        let _ = (name, key);
+    }
+}
+
+/// RAII guard serializing fault-injecting tests and resetting the registry
+/// when dropped (see the [module docs](self)). Without the `fault-inject`
+/// feature the guard is inert.
+#[cfg(feature = "fault-inject")]
+pub use registry::FaultScope;
+
+/// Inert stand-in for [`FaultScope`] in default builds.
+#[cfg(not(feature = "fault-inject"))]
+#[derive(Debug)]
+pub struct FaultScope(());
+
+/// Acquires the process-global fault-test scope: resets the registry now,
+/// serializes against other scopes, and resets again on drop. Every test
+/// that configures faults must hold one for its whole body.
+#[must_use]
+pub fn scope() -> FaultScope {
+    #[cfg(feature = "fault-inject")]
+    {
+        registry::scope()
+    }
+    #[cfg(not(feature = "fault-inject"))]
+    {
+        FaultScope(())
+    }
+}
+
+#[cfg(all(test, feature = "fault-inject"))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unconfigured_failpoints_are_inert() {
+        let _guard = scope();
+        assert_eq!(hit("sim::test::nowhere", 0), Ok(()));
+        assert_eq!(fired_count("sim::test::nowhere"), 0);
+    }
+
+    #[test]
+    fn error_fault_fires_on_matching_key_only() {
+        let _guard = scope();
+        configure("sim::test::keyed", Fault::error().for_key(3));
+        assert_eq!(hit("sim::test::keyed", 0), Ok(()));
+        assert_eq!(hit("sim::test::keyed", 2), Ok(()));
+        let fired = hit("sim::test::keyed", 3).unwrap_err();
+        assert_eq!(fired.failpoint(), "sim::test::keyed");
+        assert_eq!(
+            fired.to_string(),
+            "injected fault at failpoint `sim::test::keyed`"
+        );
+        // Unlimited times: fires on every matching hit.
+        assert!(hit("sim::test::keyed", 3).is_err());
+        assert_eq!(fired_count("sim::test::keyed"), 2);
+    }
+
+    #[test]
+    fn nth_trigger_counts_matching_hits() {
+        let _guard = scope();
+        configure("sim::test::nth", Fault::error().on_nth(3));
+        assert_eq!(hit("sim::test::nth", 0), Ok(()));
+        assert_eq!(hit("sim::test::nth", 1), Ok(()));
+        assert!(hit("sim::test::nth", 2).is_err());
+        // times(1): exhausted after the single fire.
+        assert_eq!(hit("sim::test::nth", 3), Ok(()));
+        assert_eq!(fired_count("sim::test::nth"), 1);
+    }
+
+    #[test]
+    fn keyed_counters_ignore_other_keys() {
+        let _guard = scope();
+        // Fire on the 2nd hit *of key 7*; hits with other keys interleave
+        // freely without advancing the counter — the determinism guarantee.
+        configure("sim::test::keyed_nth", Fault::error().for_key(7).on_nth(2));
+        for noise in [0u64, 1, 2, 3, 4, 5] {
+            assert_eq!(hit("sim::test::keyed_nth", noise), Ok(()));
+        }
+        assert_eq!(hit("sim::test::keyed_nth", 7), Ok(()), "1st matching hit");
+        assert!(hit("sim::test::keyed_nth", 7).is_err(), "2nd matching hit");
+        assert_eq!(hit("sim::test::keyed_nth", 7), Ok(()), "exhausted");
+    }
+
+    #[test]
+    #[should_panic(expected = "injected fault at failpoint `sim::test::boom`")]
+    fn panic_fault_panics_with_the_fixed_message() {
+        let _guard = scope();
+        configure("sim::test::boom", Fault::panic());
+        let _ = hit("sim::test::boom", 0);
+    }
+
+    #[test]
+    fn strike_panics_on_error_faults() {
+        let _guard = scope();
+        configure("sim::test::infallible", Fault::error().once());
+        let caught = std::panic::catch_unwind(|| strike("sim::test::infallible", 0));
+        let payload = caught.unwrap_err();
+        let message = payload.downcast_ref::<String>().expect("string payload");
+        assert_eq!(
+            message,
+            "injected fault at failpoint `sim::test::infallible`"
+        );
+    }
+
+    #[test]
+    fn delay_fault_sleeps_then_continues() {
+        let _guard = scope();
+        let pause = Duration::from_millis(5);
+        configure("sim::test::slow", Fault::delay(pause).times(1));
+        let start = std::time::Instant::now();
+        assert_eq!(hit("sim::test::slow", 0), Ok(()));
+        assert!(start.elapsed() >= pause, "the delay actually slept");
+        assert_eq!(fired_count("sim::test::slow"), 1);
+    }
+
+    #[test]
+    fn clear_and_reconfigure_restart_counters() {
+        let _guard = scope();
+        configure("sim::test::reset", Fault::error().on_nth(1));
+        assert!(hit("sim::test::reset", 0).is_err());
+        clear("sim::test::reset");
+        assert_eq!(hit("sim::test::reset", 0), Ok(()));
+        configure("sim::test::reset", Fault::error().on_nth(1));
+        assert!(hit("sim::test::reset", 0).is_err(), "counters restarted");
+    }
+
+    impl Fault {
+        fn once(self) -> Fault {
+            self.times(1)
+        }
+    }
+}

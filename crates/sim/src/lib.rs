@@ -37,8 +37,13 @@
 //!   independent ≤64-lane blocks across threads (scoped threads by default,
 //!   rayon behind the `parallel-rayon` feature, sequential fallback at one
 //!   thread), with results merged in block order so every reduction is
-//!   bit-identical to the sequential loop.
+//!   bit-identical to the sequential loop. Panicking jobs are isolated
+//!   per job; [`BlockDriver::map_supervised`] adds typed per-job failures,
+//!   a bounded retry budget and cooperative cancellation ([`CancelFlag`]).
 //! * [`patterns`] — deterministic random pattern generation.
+//! * [`failpoint`] — deterministic fault injection: named failpoints in
+//!   the replay, observer and driver hot paths, compiled to no-ops unless
+//!   the `fault-inject` feature is enabled.
 //!
 //! # Examples
 //!
@@ -74,6 +79,7 @@
 #![warn(missing_docs)]
 
 mod eval;
+pub mod failpoint;
 pub mod fault;
 mod incremental;
 pub mod kernel;
@@ -89,5 +95,7 @@ pub use kernel::{
     DirtyWorklist, LogicWord, PackedLogicWord, PackedWord, SimKernel, Wide256, Wide512, WideWord,
 };
 pub use logic::Logic;
-pub use parallel::BlockDriver;
+pub use parallel::{
+    BlockDriver, CancelFlag, Canceled, JobContext, JobError, JobFailure, JobPolicy,
+};
 pub use scan_packed::{PackedScanShiftSim, Propagation, ShiftCycle};

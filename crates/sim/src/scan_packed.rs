@@ -47,8 +47,10 @@
 
 use scanpower_netlist::{NetId, Netlist};
 
+use crate::failpoint;
 use crate::kernel::{DirtyWorklist, PackedLogicWord, PackedWord, SimKernel};
 use crate::logic::Logic;
+use crate::parallel::{CancelFlag, Canceled};
 use crate::scan::{ScanPattern, ShiftConfig, ShiftPhase, ShiftStats};
 
 /// How [`PackedScanShiftSim`] propagates each shift cycle through the
@@ -301,8 +303,51 @@ impl PackedScanShiftSim {
         patterns: &[ScanPattern],
         config: &ShiftConfig,
         propagation: Propagation,
-        mut observer: F,
+        observer: F,
     ) -> ShiftStats
+    where
+        W: PackedLogicWord,
+        F: FnMut(&ShiftCycle<'_, W>),
+    {
+        match self.try_run_cycles_wide(netlist, patterns, config, propagation, None, observer) {
+            Ok(stats) => stats,
+            Err(Canceled) => unreachable!("a replay without a cancel flag cannot be canceled"),
+        }
+    }
+
+    /// The cancellable replay engine behind
+    /// [`run_cycles_wide`](PackedScanShiftSim::run_cycles_wide): identical
+    /// in every respect, plus a cooperative [`CancelFlag`] polled once per
+    /// ≤`W::LANES`-pattern block.
+    ///
+    /// Cancellation is block-granular: the replay finishes the block in
+    /// flight (so the observer always sees complete blocks) and returns
+    /// [`Canceled`] at the next block boundary. With `cancel` `None` the
+    /// replay is infallible.
+    ///
+    /// The `sim::replay::block` failpoint (keyed by block index) fires at
+    /// the start of every block and `sim::replay::cycle` (keyed by the
+    /// replay-global kernel-pass ordinal) at every shift cycle — compiled
+    /// to no-ops without the `fault-inject` feature.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Canceled`] when `cancel` reports cancellation at a block
+    /// boundary. All partial work is discarded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a pattern's widths or the configuration's widths do not
+    /// match the circuit, or if the combinational part is cyclic.
+    pub fn try_run_cycles_wide<W, F>(
+        &self,
+        netlist: &Netlist,
+        patterns: &[ScanPattern],
+        config: &ShiftConfig,
+        propagation: Propagation,
+        cancel: Option<&CancelFlag>,
+        mut observer: F,
+    ) -> Result<ShiftStats, Canceled>
     where
         W: PackedLogicWord,
         F: FnMut(&ShiftCycle<'_, W>),
@@ -368,8 +413,14 @@ impl PackedScanShiftSim {
         // Event-driven scratch, reused across cycles and blocks.
         let mut worklist = kernel.make_worklist();
         let mut changed: Vec<NetId> = Vec::new();
+        // Replay-global kernel-pass ordinal, the `sim::replay::cycle` key.
+        let mut cycle_ordinal: u64 = 0;
 
-        for chunk in patterns.chunks(W::LANES) {
+        for (block, chunk) in patterns.chunks(W::LANES).enumerate() {
+            if let Some(cancel) = cancel {
+                cancel.checkpoint()?;
+            }
+            failpoint::strike("sim::replay::block", block as u64);
             let lanes = chunk.len();
             for pattern in chunk {
                 assert_eq!(pattern.pi.len(), pi_count, "pattern PI width");
@@ -432,6 +483,8 @@ impl PackedScanShiftSim {
             // lock-step. The bit injected at cycle `c` ends up in cell
             // `chain_len - 1 - c`, exactly like the scalar replay.
             for cycle in 0..chain_len {
+                failpoint::strike("sim::replay::cycle", cycle_ordinal);
+                cycle_ordinal += 1;
                 let mut incoming = W::splat(Logic::X);
                 for (lane, pattern) in chunk.iter().enumerate() {
                     incoming.set_lane(lane, pattern.scan[chain_len - 1 - cycle]);
@@ -563,12 +616,12 @@ impl PackedScanShiftSim {
             }
         }
 
-        ShiftStats {
+        Ok(ShiftStats {
             patterns: patterns.len(),
             shift_cycles,
             toggles,
             total_toggles: total,
-        }
+        })
     }
 }
 
@@ -655,6 +708,56 @@ mod tests {
         let scalar = ScanShiftSim::new(netlist).run(netlist, patterns, config);
         let packed = PackedScanShiftSim::new(netlist).run(netlist, patterns, config);
         assert_eq!(packed, scalar);
+    }
+
+    /// Cooperative cancellation is block-granular and deterministic: a
+    /// pre-tripped flag (or an expired zero deadline) cancels at the first
+    /// block boundary before any observer event, while `None` — and an
+    /// untripped flag — replay to completion with bit-identical stats.
+    #[test]
+    fn try_run_cycles_wide_polls_the_cancel_flag_at_block_boundaries() {
+        use crate::parallel::{CancelFlag, Canceled};
+        let n = s27();
+        let patterns = bool_patterns_for(&n, 150, 11);
+        let config = ShiftConfig::traditional(n.dff_count());
+        let sim = PackedScanShiftSim::new(&n);
+
+        let tripped = CancelFlag::new();
+        tripped.cancel();
+        let mut events = 0usize;
+        let outcome = sim.try_run_cycles_wide::<PackedWord, _>(
+            &n,
+            &patterns,
+            &config,
+            Propagation::default(),
+            Some(&tripped),
+            |_| events += 1,
+        );
+        assert_eq!(outcome, Err(Canceled));
+        assert_eq!(events, 0, "canceled before the first block's events");
+
+        let expired = CancelFlag::with_deadline(std::time::Duration::ZERO);
+        let outcome = sim.try_run_cycles_wide::<PackedWord, _>(
+            &n,
+            &patterns,
+            &config,
+            Propagation::default(),
+            Some(&expired),
+            |_| {},
+        );
+        assert_eq!(outcome, Err(Canceled));
+
+        let stats = sim
+            .try_run_cycles_wide::<PackedWord, _>(
+                &n,
+                &patterns,
+                &config,
+                Propagation::default(),
+                Some(&CancelFlag::new()),
+                |_| {},
+            )
+            .expect("untripped flag never cancels");
+        assert_eq!(stats, sim.run(&n, &patterns, &config));
     }
 
     #[test]

@@ -7,6 +7,7 @@ use scanpower_sim::fault::{all_net_faults, Fault, FaultSim};
 use scanpower_sim::patterns::random_bool_patterns;
 use scanpower_sim::scan::ScanPattern;
 use scanpower_sim::{BlockDriver, Logic};
+use scanpower_wire::{Wire, WireError, WireReader, WireWriter};
 
 use crate::podem::{Podem, PodemOutcome};
 
@@ -47,6 +48,32 @@ impl Default for AtpgConfig {
             seed: 0xa70a_70a7,
             threads: 0,
         }
+    }
+}
+
+/// Canonical wire encoding: fields in declaration order. The ATPG
+/// configuration is part of the result-cache key (with `threads` zeroed by
+/// the caller, since the generated test set is thread-count invariant).
+impl Wire for AtpgConfig {
+    fn encode_into(&self, writer: &mut WireWriter) {
+        self.random_block_size.encode_into(writer);
+        self.random_stale_blocks.encode_into(writer);
+        self.random_max_blocks.encode_into(writer);
+        self.backtrack_limit.encode_into(writer);
+        self.target_coverage.encode_into(writer);
+        self.seed.encode_into(writer);
+        self.threads.encode_into(writer);
+    }
+    fn decode_from(reader: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(AtpgConfig {
+            random_block_size: usize::decode_from(reader)?,
+            random_stale_blocks: usize::decode_from(reader)?,
+            random_max_blocks: usize::decode_from(reader)?,
+            backtrack_limit: usize::decode_from(reader)?,
+            target_coverage: f64::decode_from(reader)?,
+            seed: u64::decode_from(reader)?,
+            threads: usize::decode_from(reader)?,
+        })
     }
 }
 

@@ -7,11 +7,14 @@
 //! (Equation (5)) of the combinational part during scan, plus the
 //! improvement percentages of the proposed structure over both baselines.
 
+use std::fmt;
+use std::sync::Arc;
 use std::time::Duration;
 
 use serde::{Deserialize, Serialize};
 
 use scanpower_atpg::{AtpgConfig, AtpgFlow};
+use scanpower_cache::{CacheKey, KeyBuilder, ResultCache};
 use scanpower_lint::{lint_netlist, LintFacts};
 use scanpower_netlist::generator::CircuitFamily;
 use scanpower_netlist::Netlist;
@@ -25,6 +28,7 @@ use scanpower_sim::{
     BlockDriver, CancelFlag, Canceled, JobFailure, JobPolicy, PackedLogicWord, PackedScanShiftSim,
     PackedWord, Propagation, Wide256, Wide512,
 };
+use scanpower_wire::Wire;
 
 use crate::baseline::{traditional_shift_config, InputControlBaseline};
 use crate::error::{ExperimentError, ExperimentResult};
@@ -130,6 +134,70 @@ pub struct ResourceLimits {
     pub max_replayed_patterns: Option<usize>,
 }
 
+/// A shareable, optional reference to a [`ResultCache`] — the form in which
+/// the experiment harness carries its cache through [`ExperimentOptions`].
+///
+/// The handle is runtime state, not configuration: it is skipped by the
+/// canonical wire encoding and by serde, it compares by *identity* (two
+/// handles are equal when they point at the same cache instance, or are
+/// both disabled), and the default is disabled — caching is strictly
+/// opt-in. Cloning the options clones the handle cheaply (an [`Arc`]
+/// bump), so every worker thread of a sharded run shares one cache.
+#[derive(Clone, Default, Serialize, Deserialize)]
+pub struct ResultCacheHandle(#[serde(skip)] Option<Arc<ResultCache>>);
+
+impl ResultCacheHandle {
+    /// The disabled handle (the default): every lookup misses statically
+    /// and nothing is stored.
+    #[must_use]
+    pub fn disabled() -> ResultCacheHandle {
+        ResultCacheHandle(None)
+    }
+
+    /// Wraps a shared cache.
+    #[must_use]
+    pub fn new(cache: Arc<ResultCache>) -> ResultCacheHandle {
+        ResultCacheHandle(Some(cache))
+    }
+
+    /// The cache, when enabled.
+    #[must_use]
+    pub fn get(&self) -> Option<&ResultCache> {
+        self.0.as_deref()
+    }
+
+    /// `true` when a cache is attached.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+}
+
+impl From<Arc<ResultCache>> for ResultCacheHandle {
+    fn from(cache: Arc<ResultCache>) -> ResultCacheHandle {
+        ResultCacheHandle::new(cache)
+    }
+}
+
+impl PartialEq for ResultCacheHandle {
+    fn eq(&self, other: &ResultCacheHandle) -> bool {
+        match (&self.0, &other.0) {
+            (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+            (None, None) => true,
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Debug for ResultCacheHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.0 {
+            Some(cache) => f.debug_tuple("ResultCacheHandle").field(cache).finish(),
+            None => f.write_str("ResultCacheHandle(disabled)"),
+        }
+    }
+}
+
 /// Options of the per-circuit experiment.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ExperimentOptions {
@@ -218,6 +286,22 @@ pub struct ExperimentOptions {
     /// survives timing-dependent — surviving rows are still bit-identical.
     #[serde(default)]
     pub job_deadline_ms: Option<u64>,
+    /// Content-addressed result cache, disabled by default. When a cache is
+    /// attached, [`CircuitExperiment::try_run`] looks each circuit's
+    /// finished [`CircuitRow`] up by a key over the canonical wire bytes of
+    /// (netlist, semantic options) before running ATPG, and
+    /// [`CircuitExperiment::try_evaluate_scheme_stats`] does the same per
+    /// scheme replay; hits return the stored bytes with the replay skipped
+    /// entirely. Keys deliberately *exclude* the pure bit-identity knobs
+    /// (`threads`, `packed_replay`, `lane_width`, `event_driven`,
+    /// `scalar_leakage_lookup`, `lint_facts_skip` — every configuration the
+    /// workspace pins as byte-identical), so a warm cache serves across
+    /// thread counts and lane widths; see
+    /// [`semantic_options_bytes`]. Cached rows are byte-identical to
+    /// recomputed ones because the experiments are deterministic — the
+    /// `cache_identity` CI step pins exactly that.
+    #[serde(default, skip)]
+    pub result_cache: ResultCacheHandle,
 }
 
 fn default_packed_replay() -> bool {
@@ -256,8 +340,67 @@ impl Default for ExperimentOptions {
             limits: ResourceLimits::default(),
             retries: 0,
             job_deadline_ms: None,
+            result_cache: ResultCacheHandle::disabled(),
         }
     }
+}
+
+/// The canonical bytes of the options that *semantically* determine an
+/// experiment's result — the result-cache key material.
+///
+/// Included: the ATPG configuration and the proposed-flow options (each
+/// with its `threads` knob zeroed — both flows are bit-identical for any
+/// thread count, and [`run_table1_partial`] rewrites those knobs for inner
+/// thread budgeting), and `max_patterns` (it truncates the replayed
+/// workload).
+///
+/// Excluded, with the invariant that justifies each exclusion:
+///
+/// * `threads`, `packed_replay`, `lane_width`, `event_driven`,
+///   `scalar_leakage_lookup`, `lint_facts_skip` — the workspace's pinned
+///   bit-identity matrix: every combination produces byte-identical rows.
+/// * `lint_preflight` and `limits.max_gates` — enforced *before* the cache
+///   lookup, so a refused circuit never reaches the cache.
+/// * `limits.max_replayed_patterns` — enforced *on* cache hits against the
+///   stored row's pattern count, exactly like a fresh run enforces it
+///   against the truncated test set.
+/// * `retries` and `job_deadline_ms` — supervision policy; a surviving
+///   row is bit-identical whatever policy produced it.
+/// * `result_cache` itself — runtime state.
+#[must_use]
+pub fn semantic_options_bytes(options: &ExperimentOptions) -> Vec<u8> {
+    let mut atpg = options.atpg.clone();
+    atpg.threads = 0;
+    let mut proposed = options.proposed.clone();
+    proposed.threads = 0;
+    (atpg, options.max_patterns, proposed).to_wire_bytes()
+}
+
+/// The result-cache key of one circuit's finished [`CircuitRow`].
+fn row_cache_key(netlist_bytes: &[u8], options: &ExperimentOptions) -> CacheKey {
+    KeyBuilder::new("scanpower/table1-row/v1")
+        .part(env!("CARGO_PKG_VERSION").as_bytes())
+        .part(netlist_bytes)
+        .part(&semantic_options_bytes(options))
+        .finish()
+}
+
+/// The result-cache key of one scheme replay's `(SchemePower, ShiftStats)`.
+/// The replay is a deterministic function of (netlist, patterns, shift
+/// config) alone — every replay knob is bit-identity — so no options enter
+/// the key.
+fn scheme_cache_key(netlist: &Netlist, patterns: &[ScanPattern], config: &ShiftConfig) -> CacheKey {
+    let mut pattern_bytes = scanpower_wire::WireWriter::new();
+    pattern_bytes.write_len(patterns.len());
+    for pattern in patterns {
+        pattern.encode_into(&mut pattern_bytes);
+    }
+    KeyBuilder::new("scanpower/scheme-stats/v1")
+        .part(env!("CARGO_PKG_VERSION").as_bytes())
+        .wire(netlist)
+        .part(pattern_bytes.as_bytes())
+        .wire(config)
+        .finish()
 }
 
 impl ExperimentOptions {
@@ -383,6 +526,20 @@ impl CircuitExperiment {
         let canceled = || ExperimentError::Canceled {
             circuit: netlist.name().to_owned(),
         };
+        // Content-addressed shortcut: the replay is a deterministic
+        // function of (netlist, patterns, config), so a cached result is
+        // byte-identical to a fresh one — including across lane widths,
+        // propagation modes and lookup modes, which is why none of those
+        // knobs enter the key.
+        let cache_key = self.options.result_cache.get().map(|cache| {
+            let key = scheme_cache_key(netlist, patterns, config);
+            (cache, key)
+        });
+        if let Some((cache, key)) = &cache_key {
+            if let Some(cached) = cache.get_decoded::<(SchemePower, ShiftStats)>(*key) {
+                return Ok(cached);
+            }
+        }
         // The scalar replay only ever calls `circuit_leakage`, which never
         // touches the ternary tables — skip the precompute there too.
         let lookup = if self.options.scalar_leakage_lookup || !self.options.packed_replay {
@@ -458,6 +615,9 @@ impl CircuitExperiment {
             total_toggles: stats.total_toggles,
             shift_cycles: stats.shift_cycles,
         };
+        if let Some((cache, key)) = cache_key {
+            cache.insert_encoded(key, &(power, stats.clone()));
+        }
         Ok((power, stats))
     }
 
@@ -569,6 +729,33 @@ impl CircuitExperiment {
         }
         checkpoint()?;
 
+        // Content-addressed shortcut, consulted only after the preflight
+        // gates above so a cache can never launder a circuit past them. A
+        // hit skips ATPG and all three replays; the stored row is
+        // byte-identical to a recomputed one because the whole flow is
+        // deterministic. The replayed-pattern ceiling is re-enforced
+        // against the stored row — `max_replayed_patterns` is deliberately
+        // not part of the key.
+        let row_key = self.options.result_cache.get().map(|cache| {
+            let key = row_cache_key(&netlist.to_wire_bytes(), &self.options);
+            (cache, key)
+        });
+        if let Some((cache, key)) = &row_key {
+            if let Some(row) = cache.get_decoded::<CircuitRow>(*key) {
+                if let Some(limit) = self.options.limits.max_replayed_patterns {
+                    if row.patterns > limit {
+                        return Err(ExperimentError::ResourceLimit {
+                            circuit: netlist.name().to_owned(),
+                            resource: "patterns",
+                            limit,
+                            actual: row.patterns,
+                        });
+                    }
+                }
+                return Ok(row);
+            }
+        }
+
         // Test set (the ATOM substitute). No test-vector or scan-cell
         // reordering is applied, exactly like the paper's experiments.
         let test_set = AtpgFlow::new(self.options.atpg.clone()).run(netlist);
@@ -620,7 +807,7 @@ impl CircuitExperiment {
             cancel,
         )?;
 
-        Ok(CircuitRow {
+        let row = CircuitRow {
             circuit: netlist.name().to_owned(),
             gates: netlist.gate_count(),
             flip_flops: netlist.dff_count(),
@@ -630,7 +817,11 @@ impl CircuitExperiment {
             traditional,
             input_control,
             proposed,
-        })
+        };
+        if let Some((cache, key)) = row_key {
+            cache.insert_encoded(key, &row);
+        }
+        Ok(row)
     }
 }
 
@@ -1426,6 +1617,124 @@ mod tests {
         });
         let config = traditional_shift_config(&n);
         let _ = experiment.evaluate_scheme_stats(&n, &[], &config);
+    }
+
+    /// Rows served from the result cache are byte-identical to recomputed
+    /// ones, and the hit counter proves the replay was actually skipped.
+    #[test]
+    fn result_cache_serves_identical_rows_and_counts_hits() {
+        let n = bench::parse(bench::S27_BENCH, "s27").unwrap();
+        let uncached = CircuitExperiment::new(ExperimentOptions::fast()).run(&n);
+
+        let cache = Arc::new(ResultCache::in_memory());
+        let cached_options = ExperimentOptions {
+            result_cache: ResultCacheHandle::new(Arc::clone(&cache)),
+            ..ExperimentOptions::fast()
+        };
+        let experiment = CircuitExperiment::new(cached_options);
+        let cold = experiment.run(&n);
+        assert_eq!(cold, uncached, "a cold cached run matches uncached");
+        assert_eq!(cache.stats().hits, 0);
+        let insertions_after_cold = cache.stats().insertions;
+        assert!(insertions_after_cold >= 1, "the row was stored");
+
+        let warm = experiment.run(&n);
+        assert_eq!(warm, uncached, "a warm run serves the identical row");
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 1, "exactly the row-level hit, replay skipped");
+        assert_eq!(
+            stats.insertions, insertions_after_cold,
+            "nothing recomputed, nothing re-stored"
+        );
+    }
+
+    /// The cache key excludes the bit-identity knobs: a row computed at one
+    /// (thread count, lane width, propagation, lookup) configuration is a
+    /// warm hit at every other.
+    #[test]
+    fn result_cache_serves_across_bit_identity_knobs() {
+        let n = bench::parse(bench::S27_BENCH, "s27").unwrap();
+        let cache = Arc::new(ResultCache::in_memory());
+        let with_cache = |options: ExperimentOptions| ExperimentOptions {
+            result_cache: ResultCacheHandle::new(Arc::clone(&cache)),
+            ..options
+        };
+        let seed = CircuitExperiment::new(with_cache(ExperimentOptions::fast())).run(&n);
+        let variants = [
+            ExperimentOptions {
+                lane_width: 512,
+                ..ExperimentOptions::fast()
+            },
+            ExperimentOptions {
+                event_driven: false,
+                scalar_leakage_lookup: true,
+                ..ExperimentOptions::fast()
+            },
+            ExperimentOptions {
+                threads: 3,
+                lint_facts_skip: false,
+                ..ExperimentOptions::fast()
+            },
+        ];
+        for (index, variant) in variants.into_iter().enumerate() {
+            let row = CircuitExperiment::new(with_cache(variant)).run(&n);
+            assert_eq!(row, seed, "variant {index}");
+            assert_eq!(
+                cache.stats().hits,
+                (index + 1) as u64,
+                "variant {index} was a warm hit"
+            );
+        }
+    }
+
+    /// A semantic knob (the ATPG seed) must change the key: no false hits.
+    #[test]
+    fn result_cache_misses_on_semantic_changes() {
+        let n = bench::parse(bench::S27_BENCH, "s27").unwrap();
+        let cache = Arc::new(ResultCache::in_memory());
+        let options = |seed: u64| ExperimentOptions {
+            atpg: AtpgConfig {
+                seed,
+                ..AtpgConfig::fast()
+            },
+            result_cache: ResultCacheHandle::new(Arc::clone(&cache)),
+            ..ExperimentOptions::fast()
+        };
+        let _ = CircuitExperiment::new(options(1)).run(&n);
+        let _ = CircuitExperiment::new(options(2)).run(&n);
+        assert_eq!(cache.stats().hits, 0, "different seeds share no entries");
+    }
+
+    /// The replayed-pattern ceiling is enforced on cache hits exactly like
+    /// on fresh runs — a cached row cannot launder a refusal.
+    #[test]
+    fn result_cache_hits_still_enforce_the_pattern_ceiling() {
+        let n = bench::parse(bench::S27_BENCH, "s27").unwrap();
+        let cache = Arc::new(ResultCache::in_memory());
+        let warm = CircuitExperiment::new(ExperimentOptions {
+            result_cache: ResultCacheHandle::new(Arc::clone(&cache)),
+            ..ExperimentOptions::fast()
+        });
+        let row = warm.run(&n);
+        assert!(row.patterns > 1);
+
+        let limited = CircuitExperiment::new(ExperimentOptions {
+            result_cache: ResultCacheHandle::new(Arc::clone(&cache)),
+            limits: ResourceLimits {
+                max_replayed_patterns: Some(1),
+                ..ResourceLimits::default()
+            },
+            ..ExperimentOptions::fast()
+        });
+        assert_eq!(
+            limited.try_run(&n).expect_err("ceiling applies to hits"),
+            ExperimentError::ResourceLimit {
+                circuit: "s27".into(),
+                resource: "patterns",
+                limit: 1,
+                actual: row.patterns,
+            }
+        );
     }
 
     /// One circuit per driver job: the whole report is bit-identical for

@@ -46,6 +46,7 @@ mod justify;
 mod pattern;
 mod proposed;
 mod structure;
+mod wire_impls;
 mod worklist;
 
 pub use addmux::{AddMux, MuxPlan};

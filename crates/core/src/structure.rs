@@ -1,6 +1,7 @@
 use scanpower_netlist::{GateKind, NetId, Netlist};
 use scanpower_sim::scan::{ScanPattern, ShiftConfig};
 use scanpower_sim::Logic;
+use scanpower_wire::{Wire, WireError, WireReader, WireWriter};
 
 use crate::addmux::MuxPlan;
 
@@ -167,6 +168,55 @@ impl ScanStructure {
     }
 }
 
+/// Canonical wire encoding: the modified netlist, the Shift Enable net, the
+/// per-cell scan-mode constants and the original primary-input count, in
+/// that order. Decoding re-validates the cross-references the constructor
+/// guarantees — the Shift Enable net must be a primary input of the decoded
+/// netlist, the constants vector must have one entry per scan cell, and the
+/// original PI count can be at most one less than the modified netlist's
+/// (the structure adds exactly the Shift Enable input).
+impl Wire for ScanStructure {
+    fn encode_into(&self, writer: &mut WireWriter) {
+        self.netlist.encode_into(writer);
+        self.scan_enable.encode_into(writer);
+        self.mux_constants.encode_into(writer);
+        self.original_pi_count.encode_into(writer);
+    }
+    fn decode_from(reader: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let netlist = Netlist::decode_from(reader)?;
+        let scan_enable = NetId::decode_from(reader)?;
+        let mux_constants = Vec::<Option<Logic>>::decode_from(reader)?;
+        let original_pi_count = usize::decode_from(reader)?;
+        if !netlist.primary_inputs().contains(&scan_enable) {
+            return Err(WireError::Invalid(format!(
+                "scan structure snapshot: scan_enable net {} is not a primary input",
+                scan_enable.index()
+            )));
+        }
+        if mux_constants.len() != netlist.dff_count() {
+            return Err(WireError::Invalid(format!(
+                "scan structure snapshot: {} mux constants for {} scan cells",
+                mux_constants.len(),
+                netlist.dff_count()
+            )));
+        }
+        if original_pi_count >= netlist.primary_inputs().len() {
+            return Err(WireError::Invalid(format!(
+                "scan structure snapshot: original_pi_count {} must be below the \
+                 modified netlist's {} primary inputs",
+                original_pi_count,
+                netlist.primary_inputs().len()
+            )));
+        }
+        Ok(ScanStructure {
+            netlist,
+            scan_enable,
+            mux_constants,
+            original_pi_count,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -269,6 +319,27 @@ mod tests {
                 assert_eq!(values[gate.output.index()], Logic::Zero);
             }
         }
+    }
+
+    #[test]
+    fn wire_round_trip_preserves_the_structure() {
+        use scanpower_wire::{decode_message, encode_message, Wire, WireError};
+        let (_, structure) = build_s27();
+        let bytes = encode_message(&structure);
+        let decoded = decode_message::<ScanStructure>(&bytes).unwrap();
+        assert_eq!(decoded, structure);
+
+        // Decode-side validation: a constants vector that does not match
+        // the scan-cell count is refused, not silently accepted.
+        let mut writer = scanpower_wire::WireWriter::new();
+        structure.netlist.encode_into(&mut writer);
+        structure.scan_enable.encode_into(&mut writer);
+        let short_constants = &structure.mux_constants[1..];
+        short_constants.to_vec().encode_into(&mut writer);
+        structure.original_pi_count.encode_into(&mut writer);
+        let mut reader = scanpower_wire::WireReader::new(writer.as_bytes());
+        let error = ScanStructure::decode_from(&mut reader).unwrap_err();
+        assert!(matches!(error, WireError::Invalid(_)), "{error:?}");
     }
 
     #[test]

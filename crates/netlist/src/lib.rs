@@ -41,6 +41,7 @@ mod netlist;
 pub mod stats;
 pub mod techmap;
 pub mod topo;
+mod wire_impls;
 
 pub use error::{NetlistError, Result};
 pub use gate::{Gate, GateKind, GateOutput};

@@ -3,6 +3,8 @@ use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
+use scanpower_wire::{Wire, WireError, WireReader, WireWriter};
+
 use crate::error::{NetlistError, Result};
 use crate::gate::{Gate, GateKind, GateOutput};
 
@@ -521,6 +523,115 @@ impl Netlist {
         }
         // Acyclicity is checked by the topological sort.
         crate::topo::topological_gates(self).map(|_| ())
+    }
+}
+
+// ----------------------------------------------------------------------
+// canonical wire encoding
+// ----------------------------------------------------------------------
+
+impl Wire for Netlist {
+    fn encode_into(&self, writer: &mut WireWriter) {
+        self.name.encode_into(writer);
+        self.nets.encode_into(writer);
+        self.gates.encode_into(writer);
+        self.dffs.encode_into(writer);
+        self.primary_inputs.encode_into(writer);
+        self.primary_outputs.encode_into(writer);
+        // `name_to_net` is a derived index: rebuilt on decode, never
+        // encoded (a HashMap has no canonical iteration order).
+    }
+
+    fn decode_from(reader: &mut WireReader<'_>) -> std::result::Result<Self, WireError> {
+        let name = String::decode_from(reader)?;
+        let nets: Vec<Net> = Vec::decode_from(reader)?;
+        let gates: Vec<Gate> = Vec::decode_from(reader)?;
+        let dffs: Vec<DffCell> = Vec::decode_from(reader)?;
+        let primary_inputs: Vec<NetId> = Vec::decode_from(reader)?;
+        let primary_outputs: Vec<NetId> = Vec::decode_from(reader)?;
+
+        // Every cross-reference is an index into one of the three arenas;
+        // bounds-check them all here so a corrupt snapshot is a typed
+        // decode error instead of a panic deep inside a consumer. (Deeper
+        // structural properties — load bookkeeping, acyclicity — remain
+        // the domain of [`Netlist::validate`].)
+        let net_ok = |net: NetId| net.index() < nets.len();
+        let gate_ok = |gate: GateId| gate.index() < gates.len();
+        let invalid = |what: &str| WireError::Invalid(format!("netlist snapshot: {what}"));
+        for net in &nets {
+            match net.driver {
+                NetDriver::Gate(gate) if !gate_ok(gate) => {
+                    return Err(invalid("net driven by a missing gate"))
+                }
+                NetDriver::Dff(index) if index >= dffs.len() => {
+                    return Err(invalid("net driven by a missing flip-flop"))
+                }
+                _ => {}
+            }
+            if net.loads.iter().any(|&(gate, _)| !gate_ok(gate)) {
+                return Err(invalid("net loads a missing gate"));
+            }
+            if net.dff_loads.iter().any(|&index| index >= dffs.len()) {
+                return Err(invalid("net loads a missing flip-flop"));
+            }
+        }
+        for gate in &gates {
+            if !net_ok(gate.output) || gate.inputs.iter().any(|&input| !net_ok(input)) {
+                return Err(invalid("gate references a missing net"));
+            }
+        }
+        if dffs.iter().any(|dff| !net_ok(dff.d) || !net_ok(dff.q)) {
+            return Err(invalid("flip-flop references a missing net"));
+        }
+        if primary_inputs.iter().any(|&pi| !net_ok(pi))
+            || primary_outputs.iter().any(|&po| !net_ok(po))
+        {
+            return Err(invalid("primary input/output references a missing net"));
+        }
+
+        let mut name_to_net = HashMap::with_capacity(nets.len());
+        for (index, net) in nets.iter().enumerate() {
+            if name_to_net
+                .insert(net.name.clone(), NetId::from_index(index))
+                .is_some()
+            {
+                return Err(invalid("duplicate net name"));
+            }
+        }
+
+        Ok(Netlist {
+            name,
+            nets,
+            gates,
+            dffs,
+            primary_inputs,
+            primary_outputs,
+            name_to_net,
+        })
+    }
+}
+
+impl Netlist {
+    /// Encodes the netlist as a versioned binary snapshot — the
+    /// mmap-friendly load format for circuits that would otherwise re-parse
+    /// a `.bench` file on every run. Inherent shorthand for
+    /// [`Wire::to_wire_bytes`], so callers need no trait import.
+    #[must_use]
+    pub fn to_wire_bytes(&self) -> Vec<u8> {
+        Wire::to_wire_bytes(self)
+    }
+
+    /// Decodes a snapshot produced by [`Netlist::to_wire_bytes`],
+    /// validating the envelope (magic + format version), every
+    /// cross-reference index and net-name uniqueness.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] on a foreign or truncated payload, an
+    /// incompatible format version, or a snapshot whose indices don't hold
+    /// together.
+    pub fn from_wire_bytes(bytes: &[u8]) -> std::result::Result<Netlist, WireError> {
+        <Netlist as Wire>::from_wire_bytes(bytes)
     }
 }
 

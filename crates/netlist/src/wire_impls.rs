@@ -1,0 +1,189 @@
+//! Canonical wire encodings ([`Wire`]) of the netlist substrate types.
+//!
+//! The [`crate::Netlist`] impl itself lives in `netlist.rs` (it rebuilds the
+//! private name index on decode); this module covers every building block:
+//! ids, gate kinds, drivers, nets, gates and flip-flops. Discriminant bytes
+//! are part of the frozen wire format — append new variants, never renumber.
+
+use scanpower_wire::{Wire, WireError, WireReader, WireWriter};
+
+use crate::gate::{Gate, GateKind};
+use crate::netlist::{DffCell, GateId, Net, NetDriver, NetId};
+
+impl Wire for NetId {
+    fn encode_into(&self, writer: &mut WireWriter) {
+        writer.write_u32(self.0);
+    }
+    fn decode_from(reader: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(NetId(reader.read_u32()?))
+    }
+}
+
+impl Wire for GateId {
+    fn encode_into(&self, writer: &mut WireWriter) {
+        writer.write_u32(self.0);
+    }
+    fn decode_from(reader: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(GateId(reader.read_u32()?))
+    }
+}
+
+/// Stable wire discriminants for [`GateKind`], in [`GateKind::ALL`] order.
+impl Wire for GateKind {
+    fn encode_into(&self, writer: &mut WireWriter) {
+        let tag = GateKind::ALL
+            .iter()
+            .position(|&kind| kind == *self)
+            .expect("GateKind::ALL is exhaustive") as u8;
+        writer.write_u8(tag);
+    }
+    fn decode_from(reader: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let tag = reader.read_u8()?;
+        GateKind::ALL
+            .get(usize::from(tag))
+            .copied()
+            .ok_or(WireError::InvalidTag {
+                type_name: "GateKind",
+                tag,
+            })
+    }
+}
+
+impl Wire for NetDriver {
+    fn encode_into(&self, writer: &mut WireWriter) {
+        match self {
+            NetDriver::None => writer.write_u8(0),
+            NetDriver::PrimaryInput => writer.write_u8(1),
+            NetDriver::Gate(gate) => {
+                writer.write_u8(2);
+                gate.encode_into(writer);
+            }
+            NetDriver::Dff(index) => {
+                writer.write_u8(3);
+                writer.write_usize(*index);
+            }
+        }
+    }
+    fn decode_from(reader: &mut WireReader<'_>) -> Result<Self, WireError> {
+        match reader.read_u8()? {
+            0 => Ok(NetDriver::None),
+            1 => Ok(NetDriver::PrimaryInput),
+            2 => Ok(NetDriver::Gate(GateId::decode_from(reader)?)),
+            3 => Ok(NetDriver::Dff(reader.read_usize()?)),
+            tag => Err(WireError::InvalidTag {
+                type_name: "NetDriver",
+                tag,
+            }),
+        }
+    }
+}
+
+impl Wire for Net {
+    fn encode_into(&self, writer: &mut WireWriter) {
+        self.name.encode_into(writer);
+        self.driver.encode_into(writer);
+        self.loads.encode_into(writer);
+        self.dff_loads.encode_into(writer);
+        self.is_primary_output.encode_into(writer);
+    }
+    fn decode_from(reader: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(Net {
+            name: String::decode_from(reader)?,
+            driver: NetDriver::decode_from(reader)?,
+            loads: Vec::decode_from(reader)?,
+            dff_loads: Vec::decode_from(reader)?,
+            is_primary_output: bool::decode_from(reader)?,
+        })
+    }
+}
+
+impl Wire for Gate {
+    fn encode_into(&self, writer: &mut WireWriter) {
+        self.kind.encode_into(writer);
+        self.inputs.encode_into(writer);
+        self.output.encode_into(writer);
+        self.name.encode_into(writer);
+    }
+    fn decode_from(reader: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(Gate {
+            kind: GateKind::decode_from(reader)?,
+            inputs: Vec::decode_from(reader)?,
+            output: NetId::decode_from(reader)?,
+            name: String::decode_from(reader)?,
+        })
+    }
+}
+
+impl Wire for DffCell {
+    fn encode_into(&self, writer: &mut WireWriter) {
+        self.d.encode_into(writer);
+        self.q.encode_into(writer);
+        self.name.encode_into(writer);
+    }
+    fn decode_from(reader: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(DffCell {
+            d: NetId::decode_from(reader)?,
+            q: NetId::decode_from(reader)?,
+            name: String::decode_from(reader)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scanpower_wire::{decode_message, encode_message};
+
+    #[test]
+    fn gate_kind_tags_are_frozen() {
+        // The discriminants are part of the wire format: ALL order, 0-based.
+        for (expected, kind) in GateKind::ALL.into_iter().enumerate() {
+            let mut writer = WireWriter::new();
+            kind.encode_into(&mut writer);
+            assert_eq!(writer.as_bytes(), &[expected as u8], "{kind}");
+        }
+        let mut reader = WireReader::new(&[11]);
+        assert_eq!(
+            GateKind::decode_from(&mut reader),
+            Err(WireError::InvalidTag {
+                type_name: "GateKind",
+                tag: 11
+            })
+        );
+    }
+
+    #[test]
+    fn net_driver_round_trips() {
+        for driver in [
+            NetDriver::None,
+            NetDriver::PrimaryInput,
+            NetDriver::Gate(GateId::from_index(17)),
+            NetDriver::Dff(3),
+        ] {
+            let bytes = encode_message(&driver);
+            assert_eq!(decode_message::<NetDriver>(&bytes).unwrap(), driver);
+        }
+    }
+
+    #[test]
+    fn net_and_gate_round_trip() {
+        let net = Net {
+            name: "n42".to_owned(),
+            driver: NetDriver::Gate(GateId::from_index(7)),
+            loads: vec![(GateId::from_index(1), 0), (GateId::from_index(2), 3)],
+            dff_loads: vec![5],
+            is_primary_output: true,
+        };
+        let bytes = encode_message(&net);
+        assert_eq!(decode_message::<Net>(&bytes).unwrap(), net);
+
+        let gate = Gate {
+            kind: GateKind::Nand,
+            inputs: vec![NetId::from_index(1), NetId::from_index(2)],
+            output: NetId::from_index(3),
+            name: "g3".to_owned(),
+        };
+        let bytes = encode_message(&gate);
+        assert_eq!(decode_message::<Gate>(&bytes).unwrap(), gate);
+    }
+}

@@ -88,6 +88,7 @@ pub mod parallel;
 pub mod patterns;
 pub mod scan;
 pub mod scan_packed;
+mod wire_impls;
 
 pub use eval::Evaluator;
 pub use incremental::IncrementalSim;

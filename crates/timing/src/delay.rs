@@ -1,6 +1,7 @@
 use serde::{Deserialize, Serialize};
 
 use scanpower_netlist::{GateId, GateKind, Netlist};
+use scanpower_wire::{Wire, WireError, WireReader, WireWriter};
 
 /// Gate delay model: `delay = intrinsic(kind, fanin) + load_slope * fanout`.
 ///
@@ -36,6 +37,30 @@ impl Default for DelayModel {
             mux_delay: 28.0,
             load_slope: 4.0,
         }
+    }
+}
+
+/// Canonical wire encoding: six `f64` bit patterns in declaration order.
+/// Part of the [`scanpower_wire`] format — the delay model rides inside the
+/// proposed-flow options, which in turn feed the result-cache key.
+impl Wire for DelayModel {
+    fn encode_into(&self, writer: &mut WireWriter) {
+        self.inverter_delay.encode_into(writer);
+        self.gate_delay.encode_into(writer);
+        self.per_extra_input.encode_into(writer);
+        self.nor_penalty.encode_into(writer);
+        self.mux_delay.encode_into(writer);
+        self.load_slope.encode_into(writer);
+    }
+    fn decode_from(reader: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(DelayModel {
+            inverter_delay: f64::decode_from(reader)?,
+            gate_delay: f64::decode_from(reader)?,
+            per_extra_input: f64::decode_from(reader)?,
+            nor_penalty: f64::decode_from(reader)?,
+            mux_delay: f64::decode_from(reader)?,
+            load_slope: f64::decode_from(reader)?,
+        })
     }
 }
 

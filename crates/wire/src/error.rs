@@ -1,0 +1,118 @@
+use std::fmt;
+
+/// Decoding failure of the canonical wire encoding.
+///
+/// Every variant carries enough context to say *what* was being decoded and
+/// *why* the bytes were refused; the `Display` rendering is deterministic so
+/// error paths can be pinned by tests and returned over a future service
+/// protocol verbatim.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The input ended before the value did.
+    Truncated {
+        /// Bytes the decoder needed for the next primitive.
+        needed: usize,
+        /// Bytes actually remaining.
+        available: usize,
+    },
+    /// The envelope does not start with the `SPWR` magic — the bytes are
+    /// not a scanpower wire message at all.
+    BadMagic {
+        /// The four bytes actually found.
+        found: [u8; 4],
+    },
+    /// The envelope carries a format version this build does not speak.
+    UnsupportedVersion {
+        /// Version found in the envelope.
+        found: u16,
+        /// Version this build encodes and decodes.
+        supported: u16,
+    },
+    /// An enum discriminant byte outside the type's range.
+    InvalidTag {
+        /// Type being decoded.
+        type_name: &'static str,
+        /// The offending discriminant.
+        tag: u8,
+    },
+    /// A declared collection length that cannot fit in the remaining input
+    /// (or in `usize`) — a corrupt or adversarial length prefix.
+    LengthOverflow {
+        /// The declared element count.
+        declared: u64,
+    },
+    /// The value decoded but violates an invariant of the target type
+    /// (dangling index, duplicate name, inconsistent bookkeeping …).
+    Invalid(String),
+    /// The message decoded completely but bytes were left over — the
+    /// payload and the type disagree.
+    TrailingBytes {
+        /// Number of undecoded bytes after the value.
+        remaining: usize,
+    },
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated { needed, available } => write!(
+                f,
+                "truncated wire input: needed {needed} more byte(s), {available} available"
+            ),
+            WireError::BadMagic { found } => write!(
+                f,
+                "bad wire magic {found:02x?}: not a scanpower wire message"
+            ),
+            WireError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "unsupported wire format version {found} (this build speaks version {supported})"
+            ),
+            WireError::InvalidTag { type_name, tag } => {
+                write!(f, "invalid discriminant {tag} while decoding {type_name}")
+            }
+            WireError::LengthOverflow { declared } => {
+                write!(
+                    f,
+                    "declared collection length {declared} overflows the input"
+                )
+            }
+            WireError::Invalid(message) => write!(f, "invalid wire value: {message}"),
+            WireError::TrailingBytes { remaining } => {
+                write!(
+                    f,
+                    "{remaining} trailing byte(s) after a complete wire message"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_deterministic() {
+        assert_eq!(
+            WireError::Truncated {
+                needed: 8,
+                available: 3
+            }
+            .to_string(),
+            "truncated wire input: needed 8 more byte(s), 3 available"
+        );
+        assert_eq!(
+            WireError::UnsupportedVersion {
+                found: 9,
+                supported: 1
+            }
+            .to_string(),
+            "unsupported wire format version 9 (this build speaks version 1)"
+        );
+        assert!(WireError::BadMagic { found: *b"ABCD" }
+            .to_string()
+            .contains("not a scanpower wire message"));
+    }
+}

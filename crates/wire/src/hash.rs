@@ -1,0 +1,109 @@
+/// Streaming FNV-1a 128-bit hash over canonical wire bytes.
+///
+/// Content-addressed storage (the result cache, future snapshot dedup) keys
+/// on this hash of a value's canonical encoding. FNV-1a is not
+/// cryptographic — the cache is a trusted-input memoization layer, not an
+/// integrity boundary — but at 128 bits accidental collisions are
+/// negligible for any realistic fleet, and the function is fully
+/// deterministic across platforms and runs (unlike `std`'s randomized
+/// `DefaultHasher`).
+///
+/// # Examples
+///
+/// ```
+/// use scanpower_wire::ContentHasher;
+///
+/// let mut h = ContentHasher::new();
+/// h.write_part(b"netlist bytes");
+/// h.write_part(b"options bytes");
+/// let key = h.finish();
+/// assert_eq!(key, scanpower_wire::hash_parts(&[b"netlist bytes", b"options bytes"]));
+/// ```
+#[derive(Debug, Clone)]
+pub struct ContentHasher {
+    state: u128,
+}
+
+/// FNV-1a 128-bit offset basis.
+const FNV128_OFFSET: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
+/// FNV-1a 128-bit prime.
+const FNV128_PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013b;
+
+impl ContentHasher {
+    /// Creates a hasher at the FNV-1a offset basis.
+    #[must_use]
+    pub fn new() -> ContentHasher {
+        ContentHasher {
+            state: FNV128_OFFSET,
+        }
+    }
+
+    /// Feeds bytes into the hash.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &byte in bytes {
+            self.state ^= u128::from(byte);
+            self.state = self.state.wrapping_mul(FNV128_PRIME);
+        }
+    }
+
+    /// Feeds a length-delimited part into the hash: the part's byte count
+    /// first, then its bytes. The delimiter makes part boundaries
+    /// unambiguous — `["ab", "c"]` and `["a", "bc"]` hash differently.
+    pub fn write_part(&mut self, part: &[u8]) {
+        self.write(&(part.len() as u64).to_le_bytes());
+        self.write(part);
+    }
+
+    /// The 128-bit digest of everything written so far.
+    #[must_use]
+    pub fn finish(&self) -> u128 {
+        self.state
+    }
+}
+
+impl Default for ContentHasher {
+    fn default() -> Self {
+        ContentHasher::new()
+    }
+}
+
+/// Hashes a sequence of length-delimited parts — the one-shot form of
+/// feeding every part through [`ContentHasher::write_part`].
+#[must_use]
+pub fn hash_parts(parts: &[&[u8]]) -> u128 {
+    let mut hasher = ContentHasher::new();
+    for part in parts {
+        hasher.write_part(part);
+    }
+    hasher.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_published_fnv1a_128_vectors() {
+        // Published FNV-1a 128 test vectors (draft-eastlake-fnv).
+        let empty = ContentHasher::new();
+        assert_eq!(empty.finish(), FNV128_OFFSET);
+        let mut a = ContentHasher::new();
+        a.write(b"a");
+        assert_eq!(a.finish(), 0xd228_cb69_6f1a_8caf_7891_2b70_4e4a_8964);
+    }
+
+    #[test]
+    fn part_boundaries_are_unambiguous() {
+        assert_ne!(hash_parts(&[b"ab", b"c"]), hash_parts(&[b"a", b"bc"]));
+        assert_ne!(hash_parts(&[b"abc"]), hash_parts(&[b"abc", b""]));
+        assert_eq!(hash_parts(&[b"abc"]), hash_parts(&[b"abc"]));
+    }
+
+    #[test]
+    fn streaming_equals_one_shot() {
+        let mut h = ContentHasher::new();
+        h.write_part(b"first");
+        h.write_part(b"second");
+        assert_eq!(h.finish(), hash_parts(&[b"first", b"second"]));
+    }
+}

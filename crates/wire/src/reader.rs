@@ -1,0 +1,262 @@
+use crate::error::WireError;
+
+/// Reads canonically-encoded primitives back out of a byte slice.
+///
+/// The mirror of [`crate::WireWriter`]: every read either consumes exactly
+/// the bytes the writer produced or fails with a typed [`WireError`] —
+/// truncated input is reported with the exact shortfall, and length
+/// prefixes are validated against the remaining input before any
+/// allocation happens.
+#[derive(Debug, Clone)]
+pub struct WireReader<'a> {
+    bytes: &'a [u8],
+    cursor: usize,
+}
+
+impl<'a> WireReader<'a> {
+    /// Creates a reader over `bytes`.
+    #[must_use]
+    pub fn new(bytes: &'a [u8]) -> WireReader<'a> {
+        WireReader { bytes, cursor: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    #[must_use]
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() - self.cursor
+    }
+
+    /// `true` when every byte has been consumed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    fn take(&mut self, count: usize) -> Result<&'a [u8], WireError> {
+        if self.remaining() < count {
+            return Err(WireError::Truncated {
+                needed: count,
+                available: self.remaining(),
+            });
+        }
+        let slice = &self.bytes[self.cursor..self.cursor + count];
+        self.cursor += count;
+        Ok(slice)
+    }
+
+    /// Reads a single byte.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Truncated`] when the input is exhausted.
+    pub fn read_u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u16`.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Truncated`] when fewer than 2 bytes remain.
+    pub fn read_u16(&mut self) -> Result<u16, WireError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("take")))
+    }
+
+    /// Reads a little-endian `u32`.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Truncated`] when fewer than 4 bytes remain.
+    pub fn read_u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("take")))
+    }
+
+    /// Reads a little-endian `u64`.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Truncated`] when fewer than 8 bytes remain.
+    pub fn read_u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("take")))
+    }
+
+    /// Reads a little-endian `u128`.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Truncated`] when fewer than 16 bytes remain.
+    pub fn read_u128(&mut self) -> Result<u128, WireError> {
+        Ok(u128::from_le_bytes(
+            self.take(16)?.try_into().expect("take"),
+        ))
+    }
+
+    /// Reads a `bool` byte, rejecting anything but `0` / `1`.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Truncated`] on exhausted input,
+    /// [`WireError::InvalidTag`] on a non-boolean byte.
+    pub fn read_bool(&mut self) -> Result<bool, WireError> {
+        match self.read_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            tag => Err(WireError::InvalidTag {
+                type_name: "bool",
+                tag,
+            }),
+        }
+    }
+
+    /// Reads an `f64` from its IEEE-754 bit pattern.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Truncated`] when fewer than 8 bytes remain.
+    pub fn read_f64(&mut self) -> Result<f64, WireError> {
+        Ok(f64::from_bits(self.read_u64()?))
+    }
+
+    /// Reads a `usize` encoded as a `u64`.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Truncated`] on exhausted input,
+    /// [`WireError::LengthOverflow`] when the value does not fit this
+    /// platform's `usize`.
+    pub fn read_usize(&mut self) -> Result<usize, WireError> {
+        let value = self.read_u64()?;
+        usize::try_from(value).map_err(|_| WireError::LengthOverflow { declared: value })
+    }
+
+    /// Reads a collection length prefix and validates it against the
+    /// remaining input: a conforming encoder spends at least
+    /// `min_element_size` bytes per element, so a declared count that could
+    /// not possibly fit is refused *before* any allocation.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Truncated`] on exhausted input,
+    /// [`WireError::LengthOverflow`] on an impossible count.
+    pub fn read_len(&mut self, min_element_size: usize) -> Result<usize, WireError> {
+        let declared = self.read_u64()?;
+        let len = usize::try_from(declared).map_err(|_| WireError::LengthOverflow { declared })?;
+        if len
+            .checked_mul(min_element_size.max(1))
+            .is_none_or(|bytes| bytes > self.remaining())
+        {
+            return Err(WireError::LengthOverflow { declared });
+        }
+        Ok(len)
+    }
+
+    /// Reads `count` raw bytes *without* a length prefix (envelope
+    /// internals).
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Truncated`] when fewer than `count` bytes remain.
+    pub fn read_raw(&mut self, count: usize) -> Result<&'a [u8], WireError> {
+        self.take(count)
+    }
+
+    /// Reads a length-prefixed byte string.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Truncated`] / [`WireError::LengthOverflow`] on a bad
+    /// prefix or short input.
+    pub fn read_bytes(&mut self) -> Result<&'a [u8], WireError> {
+        let len = self.read_len(1)?;
+        self.take(len)
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`WireReader::read_bytes`] returns, plus
+    /// [`WireError::Invalid`] on non-UTF-8 contents.
+    pub fn read_string(&mut self) -> Result<String, WireError> {
+        let bytes = self.read_bytes()?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| WireError::Invalid("string payload is not valid UTF-8".to_owned()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::writer::WireWriter;
+
+    #[test]
+    fn round_trips_primitives() {
+        let mut w = WireWriter::new();
+        w.write_u8(7);
+        w.write_u16(513);
+        w.write_u32(70_000);
+        w.write_u64(u64::MAX);
+        w.write_bool(true);
+        w.write_f64(core::f64::consts::PI);
+        w.write_usize(42);
+        w.write_str("café");
+        let bytes = w.into_bytes();
+        let mut r = WireReader::new(&bytes);
+        assert_eq!(r.read_u8().unwrap(), 7);
+        assert_eq!(r.read_u16().unwrap(), 513);
+        assert_eq!(r.read_u32().unwrap(), 70_000);
+        assert_eq!(r.read_u64().unwrap(), u64::MAX);
+        assert!(r.read_bool().unwrap());
+        assert_eq!(r.read_f64().unwrap(), core::f64::consts::PI);
+        assert_eq!(r.read_usize().unwrap(), 42);
+        assert_eq!(r.read_string().unwrap(), "café");
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn truncated_reads_report_the_shortfall() {
+        let mut r = WireReader::new(&[1, 2, 3]);
+        assert_eq!(
+            r.read_u64(),
+            Err(WireError::Truncated {
+                needed: 8,
+                available: 3
+            })
+        );
+        // The failed read consumed nothing.
+        assert_eq!(r.read_u8(), Ok(1));
+    }
+
+    #[test]
+    fn bool_rejects_non_boolean_bytes() {
+        let mut r = WireReader::new(&[2]);
+        assert_eq!(
+            r.read_bool(),
+            Err(WireError::InvalidTag {
+                type_name: "bool",
+                tag: 2
+            })
+        );
+    }
+
+    #[test]
+    fn impossible_length_prefixes_are_refused_before_allocation() {
+        let mut w = WireWriter::new();
+        w.write_len(usize::MAX / 2);
+        let bytes = w.into_bytes();
+        let mut r = WireReader::new(&bytes);
+        assert!(matches!(
+            r.read_len(1),
+            Err(WireError::LengthOverflow { .. })
+        ));
+    }
+
+    #[test]
+    fn invalid_utf8_is_refused() {
+        let mut w = WireWriter::new();
+        w.write_bytes(&[0xff, 0xfe]);
+        let bytes = w.into_bytes();
+        let mut r = WireReader::new(&bytes);
+        assert!(matches!(r.read_string(), Err(WireError::Invalid(_))));
+    }
+}

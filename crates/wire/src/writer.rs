@@ -1,0 +1,142 @@
+/// Appends canonically-encoded primitives to a byte buffer.
+///
+/// All multi-byte integers are little-endian, floats travel as their
+/// IEEE-754 bit pattern ([`f64::to_bits`]) and collections are
+/// length-prefixed with a `u64` element count — the byte layout is identical
+/// on every platform, which is what makes the output safe to hash for
+/// content addressing.
+#[derive(Debug, Default, Clone)]
+pub struct WireWriter {
+    bytes: Vec<u8>,
+}
+
+impl WireWriter {
+    /// Creates an empty writer.
+    #[must_use]
+    pub fn new() -> WireWriter {
+        WireWriter::default()
+    }
+
+    /// Creates a writer with a pre-reserved buffer.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> WireWriter {
+        WireWriter {
+            bytes: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Number of bytes written so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// `true` when nothing has been written yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// The bytes written so far.
+    #[must_use]
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Consumes the writer and returns the buffer.
+    #[must_use]
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.bytes
+    }
+
+    /// Writes a single byte.
+    pub fn write_u8(&mut self, value: u8) {
+        self.bytes.push(value);
+    }
+
+    /// Writes a little-endian `u16`.
+    pub fn write_u16(&mut self, value: u16) {
+        self.bytes.extend_from_slice(&value.to_le_bytes());
+    }
+
+    /// Writes a little-endian `u32`.
+    pub fn write_u32(&mut self, value: u32) {
+        self.bytes.extend_from_slice(&value.to_le_bytes());
+    }
+
+    /// Writes a little-endian `u64`.
+    pub fn write_u64(&mut self, value: u64) {
+        self.bytes.extend_from_slice(&value.to_le_bytes());
+    }
+
+    /// Writes a little-endian `u128`.
+    pub fn write_u128(&mut self, value: u128) {
+        self.bytes.extend_from_slice(&value.to_le_bytes());
+    }
+
+    /// Writes a `bool` as one byte (`0` / `1`).
+    pub fn write_bool(&mut self, value: bool) {
+        self.write_u8(u8::from(value));
+    }
+
+    /// Writes an `f64` as its IEEE-754 bit pattern — byte-stable for every
+    /// value including `-0.0`, subnormals and NaN payloads.
+    pub fn write_f64(&mut self, value: f64) {
+        self.write_u64(value.to_bits());
+    }
+
+    /// Writes a `usize` as a little-endian `u64`, so 32- and 64-bit
+    /// platforms produce identical bytes.
+    pub fn write_usize(&mut self, value: usize) {
+        self.write_u64(value as u64);
+    }
+
+    /// Writes a collection length prefix (a `u64` element count).
+    pub fn write_len(&mut self, len: usize) {
+        self.write_u64(len as u64);
+    }
+
+    /// Writes raw bytes *without* a length prefix (envelope internals).
+    pub fn write_raw(&mut self, bytes: &[u8]) {
+        self.bytes.extend_from_slice(bytes);
+    }
+
+    /// Writes a length-prefixed byte string.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        self.write_len(bytes.len());
+        self.bytes.extend_from_slice(bytes);
+    }
+
+    /// Writes a length-prefixed UTF-8 string.
+    pub fn write_str(&mut self, value: &str) {
+        self.write_bytes(value.as_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integers_are_little_endian() {
+        let mut w = WireWriter::new();
+        w.write_u16(0x1234);
+        w.write_u32(0xdead_beef);
+        assert_eq!(w.as_bytes(), &[0x34, 0x12, 0xef, 0xbe, 0xad, 0xde]);
+    }
+
+    #[test]
+    fn floats_are_bit_patterns() {
+        let mut w = WireWriter::new();
+        w.write_f64(-0.0);
+        assert_eq!(w.as_bytes(), &(-0.0f64).to_bits().to_le_bytes());
+        assert_ne!(w.as_bytes(), &0.0f64.to_bits().to_le_bytes());
+    }
+
+    #[test]
+    fn strings_are_length_prefixed() {
+        let mut w = WireWriter::new();
+        w.write_str("hi");
+        assert_eq!(w.as_bytes(), &[2, 0, 0, 0, 0, 0, 0, 0, b'h', b'i']);
+    }
+}

@@ -8,6 +8,15 @@
 //! per circuit) and replayed on the packed 64-pattern scan-shift simulator;
 //! the report is bit-identical for any thread count.
 //!
+//! Flags:
+//!
+//! * `--cache` — attach the content-addressed result cache and run the
+//!   table twice: the cold pass fills the cache, the warm pass is served
+//!   entirely from it (the reported hit count equals the circuit count).
+//!   Both passes print the cache's hit/miss counters.
+//! * `--cache-dir <path>` — like `--cache`, but also persist entries to
+//!   `<path>` as `<key>.wire` files, so a *later process* starts warm.
+//!
 //! Environment knobs:
 //!
 //! * `SCANPOWER_CIRCUITS` — comma-separated circuit names (default: all 12);
@@ -19,11 +28,28 @@
 //! * `SCANPOWER_THREADS`  — worker threads for the multi-circuit sharding
 //!   (default: one per hardware thread).
 
-use scanpower_suite::core::experiment::{run_table1, ExperimentOptions};
+use std::sync::Arc;
+
+use scanpower_suite::cache::ResultCache;
+use scanpower_suite::core::experiment::{run_table1, ExperimentOptions, ResultCacheHandle};
 use scanpower_suite::netlist::generator::{CircuitFamily, TABLE1_CIRCUITS};
 use scanpower_suite::sim::BlockDriver;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut cache_enabled = false;
+    let mut cache_dir: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--cache" => cache_enabled = true,
+            "--cache-dir" => {
+                cache_enabled = true;
+                cache_dir = Some(args.next().ok_or("--cache-dir needs a path")?);
+            }
+            other => return Err(format!("unknown argument `{other}`").into()),
+        }
+    }
+
     let circuits: Vec<String> = std::env::var("SCANPOWER_CIRCUITS")
         .map(|s| s.split(',').map(|c| c.trim().to_owned()).collect())
         .unwrap_or_else(|_| TABLE1_CIRCUITS.iter().map(|&c| c.to_owned()).collect());
@@ -47,12 +73,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let mut options = ExperimentOptions::fast();
     options.max_patterns = Some(max_patterns);
+    let cache = cache_enabled.then(|| {
+        let cache = Arc::new(match &cache_dir {
+            Some(dir) => ResultCache::with_disk(dir),
+            None => ResultCache::in_memory(),
+        });
+        options.result_cache = ResultCacheHandle::new(Arc::clone(&cache));
+        cache
+    });
 
     eprintln!(
         "running Table I reproduction: {} circuits, scale {scale}, {max_patterns} patterns, \
-         seed {seed}, {} worker thread(s), packed scan replay",
+         seed {seed}, {} worker thread(s), packed scan replay, cache {}",
         specs.len(),
-        BlockDriver::new(options.threads).threads()
+        BlockDriver::new(options.threads).threads(),
+        match (&cache, &cache_dir) {
+            (Some(_), Some(dir)) => format!("on (disk tier: {dir})"),
+            (Some(_), None) => "on (memory only)".to_owned(),
+            (None, _) => "off".to_owned(),
+        }
     );
     let scale = if (scale - 1.0).abs() < f64::EPSILON {
         None
@@ -60,6 +99,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Some(scale)
     };
     let report = run_table1(&specs, &options, scale, seed);
+    if let Some(cache) = &cache {
+        let stats = cache.stats();
+        eprintln!(
+            "cache after cold pass: {} hits, {} disk hits, {} misses, {} entries ({} bytes)",
+            stats.hits, stats.disk_hits, stats.misses, stats.entries, stats.bytes
+        );
+        // A warm pass over the same inputs is served entirely from the
+        // cache — one row-level hit per circuit, the replay skipped.
+        let warm = run_table1(&specs, &options, scale, seed);
+        assert_eq!(warm, report, "cached rows are byte-identical");
+        let stats = cache.stats();
+        eprintln!(
+            "cache after warm pass: {} hits, {} disk hits, {} misses ({} circuits)",
+            stats.hits,
+            stats.disk_hits,
+            stats.misses,
+            specs.len()
+        );
+    }
     for row in &report.rows {
         eprintln!(
             "{:<8} dyn(/f): {:.3e} -> {:.3e} uW/Hz ({:+.1}%)   static: {:.2} -> {:.2} uW ({:+.1}%)",

@@ -18,9 +18,11 @@
 #![warn(missing_docs)]
 
 pub use scanpower_atpg as atpg;
+pub use scanpower_cache as cache;
 pub use scanpower_core as core;
 pub use scanpower_lint as lint;
 pub use scanpower_netlist as netlist;
 pub use scanpower_power as power;
 pub use scanpower_sim as sim;
 pub use scanpower_timing as timing;
+pub use scanpower_wire as wire;

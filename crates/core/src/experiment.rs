@@ -8,7 +8,7 @@
 //! improvement percentages of the proposed structure over both baselines.
 
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use serde::{Deserialize, Serialize};
@@ -1051,9 +1051,104 @@ pub fn run_table1_partial(
     scale: Option<f64>,
     seed: u64,
 ) -> Table1Outcome {
+    run_table1_partial_streamed(specs, options, scale, seed, None, &|_, _| {})
+}
+
+/// A per-circuit completion callback for the streamed harness entry
+/// points: invoked once per circuit, in **spec order**, with the slot
+/// index and that circuit's final outcome, as soon as every earlier slot
+/// has also completed.
+///
+/// The callback runs under the stream's internal lock, so it is never
+/// invoked concurrently with itself and must not call back into the
+/// harness.
+pub type RowCallback<'a> = &'a (dyn Fn(usize, &ExperimentResult<CircuitRow>) + Sync);
+
+/// The streaming form of [`run_table1_partial`]: identical sharding,
+/// budgeting and bit-identity, but each circuit's outcome is additionally
+/// delivered through `on_row` as soon as it — and every earlier spec —
+/// has completed. Circuits finish out of order under parallel dispatch;
+/// the stream buffers early finishers so delivery is strictly in spec
+/// order, exactly once per slot. A job whose final attempt panics is
+/// delivered at end of run (as [`ExperimentError::WorkerFailed`]), since
+/// the panic escapes the job before an outcome exists.
+///
+/// `cancel` threads an *external* cancellation parent through the run:
+/// each attempt polls a [`CancelFlag::child`] of it, so tripping the
+/// parent (e.g. a service `CancelJob`) winds every in-flight circuit down
+/// as a deterministic [`ExperimentError::Canceled`] within one replay
+/// block, while per-attempt deadlines still apply.
+#[must_use]
+pub fn run_table1_partial_streamed(
+    specs: &[CircuitFamily],
+    options: &ExperimentOptions,
+    scale: Option<f64>,
+    seed: u64,
+    cancel: Option<&CancelFlag>,
+    on_row: RowCallback<'_>,
+) -> Table1Outcome {
+    let names: Vec<String> = specs.iter().map(|spec| spec.name().to_owned()).collect();
+    run_streamed(&names, options, cancel, on_row, &|job| {
+        let spec = match scale {
+            Some(factor) => specs[job].scaled(factor),
+            None => specs[job].clone(),
+        };
+        spec.generate(seed)
+    })
+}
+
+/// The streamed harness over pre-built netlists — the entry point for
+/// callers that receive circuits as canonical wire bytes (the
+/// `scanpower-serve` job service) rather than as generator specs. Same
+/// supervision, budgeting, per-circuit degradation and spec-order
+/// streaming as [`run_table1_partial_streamed`]; slot `i` runs
+/// `netlists[i]`.
+#[must_use]
+pub fn run_netlists_streamed(
+    netlists: &[Netlist],
+    options: &ExperimentOptions,
+    cancel: Option<&CancelFlag>,
+    on_row: RowCallback<'_>,
+) -> Table1Outcome {
+    let names: Vec<String> = netlists.iter().map(|n| n.name().to_owned()).collect();
+    run_streamed(&names, options, cancel, on_row, &|job| {
+        netlists[job].clone()
+    })
+}
+
+/// Spec-order streaming buffer: completed slots are held until every
+/// earlier slot has completed, then flushed through the callback in
+/// index order, exactly once each.
+struct RowStream<'a> {
+    on_row: RowCallback<'a>,
+    slots: Vec<Option<ExperimentResult<CircuitRow>>>,
+    next: usize,
+}
+
+impl RowStream<'_> {
+    fn push(&mut self, index: usize, outcome: ExperimentResult<CircuitRow>) {
+        debug_assert!(self.slots[index].is_none(), "slot {index} streamed twice");
+        self.slots[index] = Some(outcome);
+        while let Some(Some(ready)) = self.slots.get(self.next) {
+            (self.on_row)(self.next, ready);
+            self.next += 1;
+        }
+    }
+}
+
+/// The shared supervised fan-out behind both streamed entry points:
+/// `make(job)` materialises slot `job`'s netlist inside the supervised
+/// attempt (so generation panics are isolated per circuit too).
+fn run_streamed(
+    names: &[String],
+    options: &ExperimentOptions,
+    cancel: Option<&CancelFlag>,
+    on_row: RowCallback<'_>,
+    make: &(dyn Fn(usize) -> Netlist + Sync),
+) -> Table1Outcome {
     let driver = BlockDriver::new(options.threads);
     let mut options = options.clone();
-    let workers = driver.threads().min(specs.len());
+    let workers = driver.threads().min(names.len());
     if workers > 1 {
         let inner_budget = (driver.threads() / workers).max(1);
         if options.atpg.threads == 0 {
@@ -1064,40 +1159,69 @@ pub fn run_table1_partial(
         }
     }
     let mut policy = JobPolicy::default().with_retries(options.retries);
-    if let Some(deadline_ms) = options.job_deadline_ms {
-        policy = policy.with_deadline(Duration::from_millis(deadline_ms));
+    let deadline = options.job_deadline_ms.map(Duration::from_millis);
+    if let Some(deadline) = deadline {
+        policy = policy.with_deadline(deadline);
     }
     let experiment = CircuitExperiment::new(options);
-    let outcomes = driver.map_supervised(specs.len(), policy, |context| {
+    let stream = Mutex::new(RowStream {
+        on_row,
+        slots: vec![None; names.len()],
+        next: 0,
+    });
+    let outcomes = driver.map_supervised(names.len(), policy, |context| {
         let job = context.job();
-        let spec = match scale {
-            Some(factor) => specs[job].scaled(factor),
-            None => specs[job].clone(),
-        };
-        let circuit = spec.generate(seed);
-        failpoint::hit("core::experiment::circuit", job as u64).map_err(|fault| {
-            ExperimentError::WorkerFailed {
+        let circuit = make(job);
+        let outcome = failpoint::hit("core::experiment::circuit", job as u64)
+            .map_err(|fault| ExperimentError::WorkerFailed {
                 circuit: circuit.name().to_owned(),
                 message: fault.to_string(),
                 attempts: context.attempt(),
-            }
-        })?;
-        experiment.try_run_with_cancel(&circuit, Some(context.cancel_flag()))
+            })
+            .and_then(|()| {
+                // An external parent shares its tripped state with the
+                // attempt's flag (so a service-side cancel reaches the
+                // replay's block-boundary checkpoints) while the
+                // per-attempt deadline budget still starts now.
+                let flag = match cancel {
+                    Some(parent) => parent.child(deadline),
+                    None => context.cancel_flag().clone(),
+                };
+                experiment.try_run_with_cancel(&circuit, Some(&flag))
+            });
+        // Errors are final under the default policy (panics are the only
+        // retried failures, and they escape before this point), so the
+        // outcome can stream immediately.
+        stream
+            .lock()
+            .expect("row stream poisoned")
+            .push(job, outcome.clone());
+        outcome
     });
-    let outcomes = outcomes
+    let outcomes: Vec<ExperimentResult<CircuitRow>> = outcomes
         .into_iter()
-        .zip(specs)
-        .map(|(outcome, spec)| {
+        .zip(names)
+        .map(|(outcome, name)| {
             outcome.map_err(|job_error| match job_error.failure {
                 JobFailure::Error(error) => error,
                 JobFailure::Panicked { message } => ExperimentError::WorkerFailed {
-                    circuit: spec.name().to_owned(),
+                    circuit: name.clone(),
                     message,
                     attempts: job_error.attempts,
                 },
             })
         })
         .collect();
+    // Jobs whose final attempt panicked never reached the in-closure
+    // push; deliver their converted failures now so every slot streams
+    // exactly once, still in spec order.
+    let mut stream = stream.into_inner().expect("row stream poisoned");
+    for (index, outcome) in outcomes.iter().enumerate() {
+        if stream.slots[index].is_none() {
+            stream.push(index, outcome.clone());
+        }
+    }
+    debug_assert_eq!(stream.next, outcomes.len(), "stream did not drain");
     Table1Outcome { outcomes }
 }
 
@@ -1604,6 +1728,99 @@ mod tests {
             // the all-or-nothing view surfaces the one failure.
             assert_eq!(outcome.report().rows.len(), specs.len() - 1);
             assert!(outcome.clone().into_report().is_err());
+        }
+    }
+
+    /// The streaming callback sees every slot exactly once, in strict
+    /// spec order, with outcomes identical to the returned batch — at
+    /// every worker count, including out-of-order parallel completion.
+    #[test]
+    fn streamed_delivery_is_in_spec_order_and_matches_batch() {
+        let specs = vec![
+            CircuitFamily::iscas89_like("s344").unwrap(),
+            CircuitFamily::iscas89_like("s382").unwrap(),
+            CircuitFamily::iscas89_like("s444").unwrap(),
+        ];
+        let reference = run_table1_partial(&specs, &ExperimentOptions::fast(), Some(0.3), 1);
+        for threads in [1, 3, 0] {
+            let streamed = Mutex::new(Vec::new());
+            let outcome = run_table1_partial_streamed(
+                &specs,
+                &ExperimentOptions {
+                    threads,
+                    ..ExperimentOptions::fast()
+                },
+                Some(0.3),
+                1,
+                None,
+                &|index, row| streamed.lock().unwrap().push((index, row.clone())),
+            );
+            assert_eq!(outcome, reference, "threads {threads}");
+            let streamed = streamed.into_inner().unwrap();
+            let indices: Vec<usize> = streamed.iter().map(|(index, _)| *index).collect();
+            assert_eq!(indices, vec![0, 1, 2], "threads {threads}: spec order");
+            for (index, row) in streamed {
+                assert_eq!(row, outcome.outcomes[index], "threads {threads}");
+            }
+        }
+    }
+
+    /// The pre-built-netlist entry point produces the same rows as the
+    /// spec-driven harness for the same circuits.
+    #[test]
+    fn run_netlists_streamed_matches_the_spec_harness() {
+        let specs = vec![
+            CircuitFamily::iscas89_like("s344").unwrap(),
+            CircuitFamily::iscas89_like("s382").unwrap(),
+        ];
+        let reference = run_table1_partial(&specs, &ExperimentOptions::fast(), Some(0.3), 1);
+        let netlists: Vec<Netlist> = specs
+            .iter()
+            .map(|spec| spec.scaled(0.3).generate(1))
+            .collect();
+        let streamed = Mutex::new(Vec::new());
+        let outcome =
+            run_netlists_streamed(&netlists, &ExperimentOptions::fast(), None, &|i, r| {
+                streamed.lock().unwrap().push((i, r.clone()));
+            });
+        assert_eq!(outcome, reference);
+        assert_eq!(streamed.into_inner().unwrap().len(), specs.len());
+    }
+
+    /// A pre-tripped external parent flag cancels every circuit at its
+    /// first checkpoint — the seam a service `CancelJob` drives — and the
+    /// canceled outcomes still stream in spec order.
+    #[test]
+    fn external_cancel_parent_reaches_every_streamed_circuit() {
+        let specs = vec![
+            CircuitFamily::iscas89_like("s344").unwrap(),
+            CircuitFamily::iscas89_like("s382").unwrap(),
+        ];
+        let parent = CancelFlag::new();
+        parent.cancel();
+        let streamed = Mutex::new(Vec::new());
+        let outcome = run_table1_partial_streamed(
+            &specs,
+            &ExperimentOptions::fast(),
+            Some(0.3),
+            1,
+            Some(&parent),
+            &|index, row| streamed.lock().unwrap().push((index, row.clone())),
+        );
+        let indices: Vec<usize> = streamed
+            .into_inner()
+            .unwrap()
+            .iter()
+            .map(|(index, _)| *index)
+            .collect();
+        assert_eq!(indices, vec![0, 1]);
+        for (spec, slot) in specs.iter().zip(&outcome.outcomes) {
+            assert_eq!(
+                slot.as_ref().expect_err("parent already tripped"),
+                &ExperimentError::Canceled {
+                    circuit: spec.name().to_owned()
+                }
+            );
         }
     }
 

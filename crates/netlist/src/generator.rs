@@ -24,6 +24,8 @@ use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 
+use scanpower_wire::{Wire, WireError, WireReader, WireWriter};
+
 use crate::error::{NetlistError, Result};
 use crate::gate::GateKind;
 use crate::netlist::{NetId, Netlist};
@@ -226,6 +228,43 @@ impl CircuitFamily {
     }
 }
 
+/// Canonical wire encoding: the five size fields in declaration order.
+/// Decoding re-checks the [`CircuitFamily::new`] invariants (at least one
+/// input-or-flip-flop, one output, one gate) and refuses violating bytes
+/// with a typed [`WireError::Invalid`] instead of panicking — a
+/// specification travelling over a service protocol must not be able to
+/// crash the decoder.
+impl Wire for CircuitFamily {
+    fn encode_into(&self, writer: &mut WireWriter) {
+        self.name.encode_into(writer);
+        self.inputs.encode_into(writer);
+        self.outputs.encode_into(writer);
+        self.flip_flops.encode_into(writer);
+        self.gates.encode_into(writer);
+    }
+
+    fn decode_from(reader: &mut WireReader<'_>) -> std::result::Result<Self, WireError> {
+        let name = String::decode_from(reader)?;
+        let inputs = usize::decode_from(reader)?;
+        let outputs = usize::decode_from(reader)?;
+        let flip_flops = usize::decode_from(reader)?;
+        let gates = usize::decode_from(reader)?;
+        if inputs + flip_flops == 0 || outputs == 0 || gates == 0 {
+            return Err(WireError::Invalid(format!(
+                "circuit family `{name}` is ungeneratable: \
+                 {inputs} inputs + {flip_flops} flip-flops, {outputs} outputs, {gates} gates"
+            )));
+        }
+        Ok(CircuitFamily {
+            name,
+            inputs,
+            outputs,
+            flip_flops,
+            gates,
+        })
+    }
+}
+
 fn hash_name(name: &str) -> u64 {
     // FNV-1a; keeps generation deterministic across platforms without
     // depending on `DefaultHasher` stability.
@@ -328,6 +367,34 @@ mod tests {
         assert_eq!(a, b);
         let c = spec.generate(4);
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn circuit_family_wire_round_trip() {
+        let spec = CircuitFamily::iscas89_like("s344").unwrap();
+        let bytes = scanpower_wire::encode_message(&spec);
+        let back: CircuitFamily = scanpower_wire::decode_message(&bytes).unwrap();
+        assert_eq!(back, spec);
+        assert_eq!(back.generate(1), spec.generate(1));
+    }
+
+    #[test]
+    fn circuit_family_decode_rejects_ungeneratable_counts() {
+        // Hand-encode a family that `CircuitFamily::new` would panic on
+        // (no outputs); the decoder must refuse it with a typed error.
+        let mut writer = WireWriter::new();
+        writer.write_raw(&scanpower_wire::WIRE_MAGIC);
+        writer.write_u16(scanpower_wire::WIRE_VERSION);
+        "bogus".to_string().encode_into(&mut writer);
+        4usize.encode_into(&mut writer); // inputs
+        0usize.encode_into(&mut writer); // outputs
+        3usize.encode_into(&mut writer); // flip-flops
+        10usize.encode_into(&mut writer); // gates
+        let bytes = writer.into_bytes();
+        assert!(matches!(
+            scanpower_wire::decode_message::<CircuitFamily>(&bytes),
+            Err(WireError::Invalid(_))
+        ));
     }
 
     #[test]

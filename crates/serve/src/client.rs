@@ -1,0 +1,188 @@
+//! A small synchronous client over any [`Connection`].
+//!
+//! Every call is one request frame and one response frame; the raw
+//! response payload bytes are kept available ([`RowEvent::frame`])
+//! because the determinism guarantee is pinned at the **byte** level —
+//! the test rig compares `RowReady` payloads across worker counts,
+//! arrival orders and transports without decoding first.
+
+use std::fmt;
+use std::io;
+use std::time::Duration;
+
+use scanpower_wire::{decode_message, encode_message, WireError};
+
+use crate::protocol::{JobId, JobSpec, Request, Response};
+use crate::transport::Connection;
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The transport failed (or the peer closed mid-exchange).
+    Io(io::Error),
+    /// The peer's response frame did not decode.
+    Wire(WireError),
+    /// The peer closed cleanly where a response was expected.
+    Closed,
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(error) => write!(f, "transport error: {error}"),
+            ClientError::Wire(error) => write!(f, "bad response frame: {error}"),
+            ClientError::Closed => f.write_str("connection closed before the response"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(error: io::Error) -> ClientError {
+        ClientError::Io(error)
+    }
+}
+
+impl From<WireError> for ClientError {
+    fn from(error: WireError) -> ClientError {
+        ClientError::Wire(error)
+    }
+}
+
+/// One decoded `RowReady` event plus its exact payload bytes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RowEvent {
+    /// The circuit's slot in the submitted order.
+    pub index: usize,
+    /// The decoded event (always [`Response::RowReady`]).
+    pub response: Response,
+    /// The response frame's payload, byte-exact as received.
+    pub frame: Vec<u8>,
+}
+
+/// A drained job: every row event (in spec order) and the terminal frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DrainedJob {
+    /// The job id.
+    pub job: JobId,
+    /// The `RowReady` events, one per circuit, in spec order.
+    pub rows: Vec<RowEvent>,
+    /// The terminal [`Response::JobDone`] or [`Response::JobFailed`].
+    pub end: Response,
+}
+
+/// The client: owns one connection, issues one request at a time.
+pub struct ServeClient<C: Connection> {
+    conn: C,
+    /// Pause between polls that found no pending event (only used by
+    /// [`ServeClient::drain_job`]); zero spins.
+    poll_interval: Duration,
+}
+
+impl<C: Connection> ServeClient<C> {
+    /// Wraps a connection with a 1 ms poll interval.
+    pub fn new(conn: C) -> ServeClient<C> {
+        ServeClient {
+            conn,
+            poll_interval: Duration::from_millis(1),
+        }
+    }
+
+    /// Sends one request, returns the raw response payload bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Io`] on transport failure, [`ClientError::Closed`]
+    /// when the peer hung up instead of answering.
+    pub fn request_raw(&mut self, request: &Request) -> Result<Vec<u8>, ClientError> {
+        self.conn.send_frame(&encode_message(request))?;
+        self.conn.recv_frame()?.ok_or(ClientError::Closed)
+    }
+
+    /// Sends one request, returns the decoded response.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`ServeClient::request_raw`] returns, plus
+    /// [`ClientError::Wire`] for an undecodable response.
+    pub fn request(&mut self, request: &Request) -> Result<Response, ClientError> {
+        Ok(decode_message(&self.request_raw(request)?)?)
+    }
+
+    /// Submits a job; the response is [`Response::JobAccepted`],
+    /// [`Response::Busy`] or [`Response::Error`].
+    ///
+    /// # Errors
+    ///
+    /// Everything [`ServeClient::request`] returns.
+    pub fn submit(&mut self, spec: &JobSpec) -> Result<Response, ClientError> {
+        self.request(&Request::SubmitJob(Box::new(spec.clone())))
+    }
+
+    /// Cancels a job.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`ServeClient::request`] returns.
+    pub fn cancel(&mut self, job: JobId) -> Result<Response, ClientError> {
+        self.request(&Request::CancelJob(job))
+    }
+
+    /// Polls `job` until the terminal event, collecting every `RowReady`
+    /// (with its exact payload bytes) along the way. Rows arrive in spec
+    /// order; polls that find nothing pending sleep `poll_interval`.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`ServeClient::request`] returns; an unexpected
+    /// response kind is surfaced as [`ClientError::Wire`].
+    pub fn drain_job(&mut self, job: JobId) -> Result<DrainedJob, ClientError> {
+        let mut rows = Vec::new();
+        loop {
+            let frame = self.request_raw(&Request::PollJob(job))?;
+            let response: Response = decode_message(&frame)?;
+            match response {
+                Response::RowReady { index, .. } => rows.push(RowEvent {
+                    index,
+                    response,
+                    frame,
+                }),
+                Response::JobDone { .. } | Response::JobFailed { .. } => {
+                    return Ok(DrainedJob {
+                        job,
+                        rows,
+                        end: response,
+                    });
+                }
+                Response::JobStatus { .. } => {
+                    if !self.poll_interval.is_zero() {
+                        std::thread::sleep(self.poll_interval);
+                    }
+                }
+                other => {
+                    return Err(ClientError::Wire(WireError::Invalid(format!(
+                        "unexpected response while draining job {job}: {other:?}"
+                    ))));
+                }
+            }
+        }
+    }
+
+    /// Submit + drain in one call: the whole job, rows in spec order.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`ServeClient::submit`] and [`ServeClient::drain_job`]
+    /// return; a refused submission ([`Response::Busy`] /
+    /// [`Response::Error`]) is surfaced as [`ClientError::Wire`] carrying
+    /// the refusal.
+    pub fn run_job(&mut self, spec: &JobSpec) -> Result<DrainedJob, ClientError> {
+        match self.submit(spec)? {
+            Response::JobAccepted { job } => self.drain_job(job),
+            refused => Err(ClientError::Wire(WireError::Invalid(format!(
+                "submission refused: {refused:?}"
+            )))),
+        }
+    }
+}

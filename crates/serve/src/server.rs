@@ -1,0 +1,620 @@
+//! The job server: bounded queue, supervised workers, streaming results.
+//!
+//! # Lifecycle of a job
+//!
+//! 1. **Submit** — the session decodes [`Request::SubmitJob`], resolves
+//!    every [`CircuitSource`] to a validated [`Netlist`] (a bad snapshot
+//!    or an ungeneratable spec rejects the whole submission with a typed
+//!    [`Response::Error`] — nothing half-resolved is ever queued), then
+//!    offers the job to the bounded queue. A full queue answers
+//!    [`Response::Busy`]: backpressure is explicit and typed, the server
+//!    never buffers unboundedly.
+//! 2. **Run** — a worker pops the job and drives
+//!    [`run_netlists_streamed`]: one circuit per supervised
+//!    `BlockDriver` job, per-job deadlines, per-circuit degradation. The
+//!    server's shared [`ResultCache`] is installed into the job's options
+//!    first, so every circuit consults the cache (after the preflight
+//!    gates) before any replay dispatches — resubmissions are served by
+//!    hash lookup.
+//! 3. **Stream** — each circuit's outcome is appended to the job's event
+//!    queue as a [`Response::RowReady`] the moment it (and every earlier
+//!    slot) completes, followed by one [`Response::JobDone`] (or
+//!    [`Response::JobFailed`] after a catastrophic worker panic). Clients
+//!    drain events with [`Request::PollJob`]; each event is delivered
+//!    exactly once, in spec order.
+//! 4. **Cancel** — [`Request::CancelJob`] trips the job's
+//!    [`CancelFlag`] parent. Every in-flight circuit attempt polls a
+//!    child of it at its replay-block checkpoints and winds down as a
+//!    deterministic `Canceled` row within one block.
+//!
+//! Because every layer below is bit-deterministic, identical submissions
+//! produce **byte-identical** `RowReady` payloads regardless of worker
+//! count, arrival order, transport, or whether the rows came from the
+//! cache or a fresh replay.
+
+use std::collections::{HashMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use scanpower_cache::ResultCache;
+use scanpower_core::experiment::{run_netlists_streamed, ExperimentOptions, ResultCacheHandle};
+use scanpower_netlist::Netlist;
+use scanpower_sim::failpoint;
+use scanpower_sim::CancelFlag;
+use scanpower_wire::{decode_message, encode_message};
+
+use crate::protocol::{CircuitSource, JobId, JobSpec, JobState, Request, Response, RowOutcome};
+use crate::transport::{Connection, Transport};
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Capacity of the bounded job queue. A submission that finds the
+    /// queue full is refused with a typed [`Response::Busy`].
+    pub queue_capacity: usize,
+    /// Background worker threads pulling jobs off the queue. `0` starts
+    /// none — the embedding test harness then steps jobs explicitly with
+    /// [`Server::run_pending_job`], which is the deterministic way to
+    /// exercise queue states.
+    pub workers: usize,
+    /// Per-job deadline (milliseconds) applied to submissions that did
+    /// not set [`ExperimentOptions::job_deadline_ms`] themselves.
+    pub default_deadline_ms: Option<u64>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            queue_capacity: 4,
+            workers: 1,
+            default_deadline_ms: None,
+        }
+    }
+}
+
+/// One admitted job: its resolved inputs and its event stream.
+struct JobEntry {
+    id: JobId,
+    netlists: Vec<Netlist>,
+    options: ExperimentOptions,
+    /// The cancellation parent a `CancelJob` request trips; every circuit
+    /// attempt polls a child of it.
+    cancel: CancelFlag,
+    state: Mutex<JobState>,
+    /// Undelivered events, in delivery order: `RowReady`s (spec order)
+    /// then the final `JobDone`/`JobFailed`. Bounded by construction —
+    /// one event per circuit plus the terminal one.
+    events: Mutex<VecDeque<Response>>,
+    completed: AtomicUsize,
+}
+
+struct ServerInner {
+    config: ServeConfig,
+    cache: Arc<ResultCache>,
+    queue: Mutex<VecDeque<JobId>>,
+    queue_signal: Condvar,
+    jobs: Mutex<HashMap<JobId, Arc<JobEntry>>>,
+    next_job: AtomicU64,
+    shutdown: AtomicBool,
+}
+
+/// The job service. Cheap to share: sessions, listeners and workers all
+/// operate on one reference-counted core.
+pub struct Server {
+    inner: Arc<ServerInner>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// A server with `config` and a fresh in-memory result cache.
+    #[must_use]
+    pub fn new(config: ServeConfig) -> Server {
+        Server::with_cache(config, Arc::new(ResultCache::in_memory()))
+    }
+
+    /// A server sharing an existing result cache (e.g. one with a disk
+    /// tier, or one shared across server generations).
+    #[must_use]
+    pub fn with_cache(config: ServeConfig, cache: Arc<ResultCache>) -> Server {
+        let inner = Arc::new(ServerInner {
+            config: config.clone(),
+            cache,
+            queue: Mutex::new(VecDeque::new()),
+            queue_signal: Condvar::new(),
+            jobs: Mutex::new(HashMap::new()),
+            next_job: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+        });
+        let workers = (0..config.workers)
+            .map(|_| {
+                let inner = Arc::clone(&inner);
+                std::thread::spawn(move || worker_loop(&inner))
+            })
+            .collect();
+        Server { inner, workers }
+    }
+
+    /// The server's shared result cache (hit/miss counters drive the
+    /// cache-identity assertions of the test rig).
+    #[must_use]
+    pub fn cache(&self) -> &Arc<ResultCache> {
+        &self.inner.cache
+    }
+
+    /// Runs one connection's session loop on the calling thread until the
+    /// peer closes (or breaks framing). Every decoded request frame gets
+    /// exactly one response frame; an undecodable payload gets a typed
+    /// [`Response::Error`] and the session continues.
+    pub fn handle_connection<C: Connection>(&self, mut conn: C) {
+        session(&self.inner, &mut conn);
+    }
+
+    /// Spawns an accept loop over `transport`; each connection gets its
+    /// own session thread. The loop ends when the transport shuts down
+    /// (e.g. every [`LocalConnector`](crate::transport::LocalConnector)
+    /// clone dropped, or [`TcpShutdown`](crate::transport::TcpShutdown)
+    /// fired); join the returned handle to wait for that.
+    pub fn spawn_listener<T: Transport>(&self, mut transport: T) -> JoinHandle<()>
+    where
+        T::Conn: Send,
+    {
+        let inner = Arc::clone(&self.inner);
+        std::thread::spawn(move || {
+            let mut sessions = Vec::new();
+            while let Some(mut conn) = transport.accept() {
+                let inner = Arc::clone(&inner);
+                sessions.push(std::thread::spawn(move || session(&inner, &mut conn)));
+            }
+            for handle in sessions {
+                let _ = handle.join();
+            }
+        })
+    }
+
+    /// Pops and runs one queued job on the calling thread; `false` when
+    /// the queue was empty. The manual-stepping seam for `workers: 0`
+    /// configurations — queue states (and cancellation of still-queued
+    /// jobs) become fully deterministic.
+    pub fn run_pending_job(&self) -> bool {
+        let id = self.inner.queue.lock().expect("queue lock").pop_front();
+        match id {
+            Some(id) => {
+                self.inner.run_job(id);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Stops the background workers. Queued jobs stay queued; sessions
+    /// keep answering polls and cancels until their connections close.
+    pub fn shutdown(&mut self) {
+        self.inner.shutdown.store(true, Ordering::Release);
+        self.inner.queue_signal.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn worker_loop(inner: &ServerInner) {
+    loop {
+        let id = {
+            let mut queue = inner.queue.lock().expect("queue lock");
+            loop {
+                if inner.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                if let Some(id) = queue.pop_front() {
+                    break id;
+                }
+                queue = inner.queue_signal.wait(queue).expect("queue lock");
+            }
+        };
+        inner.run_job(id);
+    }
+}
+
+/// One connection's request/response loop. A session-level injected fault
+/// (`serve::session`, keyed by the 1-based request ordinal) turns that
+/// request into a typed error frame without touching the job tables.
+fn session(inner: &ServerInner, conn: &mut dyn Connection) {
+    let mut ordinal: u64 = 0;
+    while let Ok(Some(frame)) = conn.recv_frame() {
+        ordinal += 1;
+        let response = match failpoint::hit("serve::session", ordinal) {
+            Err(fault) => Response::Error {
+                message: fault.to_string(),
+            },
+            Ok(()) => match decode_message::<Request>(&frame) {
+                Err(error) => Response::Error {
+                    message: format!("bad request frame: {error}"),
+                },
+                Ok(request) => inner.handle(request),
+            },
+        };
+        if conn.send_frame(&encode_message(&response)).is_err() {
+            break;
+        }
+    }
+}
+
+impl ServerInner {
+    fn handle(&self, request: Request) -> Response {
+        match request {
+            Request::SubmitJob(spec) => self.submit(*spec),
+            Request::PollJob(id) => self.poll(id),
+            Request::CancelJob(id) => self.cancel(id),
+        }
+    }
+
+    fn submit(&self, spec: JobSpec) -> Response {
+        if spec.circuits.is_empty() {
+            return Response::Error {
+                message: "empty job: a submission needs at least one circuit".into(),
+            };
+        }
+        let netlists = match resolve_circuits(&spec.circuits) {
+            Ok(netlists) => netlists,
+            Err(message) => return Response::Error { message },
+        };
+        let id = self.next_job.fetch_add(1, Ordering::Relaxed) + 1;
+        if let Err(fault) = failpoint::hit("serve::queue", id) {
+            return Response::Error {
+                message: fault.to_string(),
+            };
+        }
+        let mut options = spec.options;
+        options.result_cache = ResultCacheHandle::new(Arc::clone(&self.cache));
+        if options.job_deadline_ms.is_none() {
+            options.job_deadline_ms = self.config.default_deadline_ms;
+        }
+        let entry = Arc::new(JobEntry {
+            id,
+            netlists,
+            options,
+            cancel: CancelFlag::new(),
+            state: Mutex::new(JobState::Queued),
+            events: Mutex::new(VecDeque::new()),
+            completed: AtomicUsize::new(0),
+        });
+        // Admission and the capacity check happen under the queue lock so
+        // two racing submissions cannot both squeeze past the bound.
+        let mut queue = self.queue.lock().expect("queue lock");
+        if queue.len() >= self.config.queue_capacity {
+            return Response::Busy {
+                queued: queue.len(),
+                capacity: self.config.queue_capacity,
+            };
+        }
+        self.jobs.lock().expect("jobs lock").insert(id, entry);
+        queue.push_back(id);
+        drop(queue);
+        self.queue_signal.notify_one();
+        Response::JobAccepted { job: id }
+    }
+
+    fn poll(&self, id: JobId) -> Response {
+        let entry = self.jobs.lock().expect("jobs lock").get(&id).cloned();
+        let Some(entry) = entry else {
+            return Response::JobStatus {
+                job: id,
+                state: JobState::Unknown,
+                completed: 0,
+                total: 0,
+            };
+        };
+        if let Some(event) = entry.events.lock().expect("events lock").pop_front() {
+            return event;
+        }
+        let state = *entry.state.lock().expect("state lock");
+        Response::JobStatus {
+            job: id,
+            state,
+            completed: entry.completed.load(Ordering::Acquire),
+            total: entry.netlists.len(),
+        }
+    }
+
+    fn cancel(&self, id: JobId) -> Response {
+        let entry = self.jobs.lock().expect("jobs lock").get(&id).cloned();
+        match entry {
+            None => Response::CancelAck {
+                job: id,
+                state: JobState::Unknown,
+            },
+            Some(entry) => {
+                entry.cancel.cancel();
+                Response::CancelAck {
+                    job: id,
+                    state: *entry.state.lock().expect("state lock"),
+                }
+            }
+        }
+    }
+
+    fn run_job(&self, id: JobId) {
+        let entry = self.jobs.lock().expect("jobs lock").get(&id).cloned();
+        let Some(entry) = entry else { return };
+        *entry.state.lock().expect("state lock") = JobState::Running;
+        let hits_before = self.cache.stats().hits;
+        let streamed = &entry;
+        let run = catch_unwind(AssertUnwindSafe(|| {
+            run_netlists_streamed(
+                &entry.netlists,
+                &entry.options,
+                Some(&entry.cancel),
+                &|index, outcome| {
+                    let event = Response::RowReady {
+                        job: streamed.id,
+                        index,
+                        outcome: match outcome {
+                            Ok(row) => RowOutcome::Row(row.clone()),
+                            Err(error) => RowOutcome::Failed {
+                                message: error.to_string(),
+                            },
+                        },
+                    };
+                    streamed
+                        .events
+                        .lock()
+                        .expect("events lock")
+                        .push_back(event);
+                    streamed.completed.fetch_add(1, Ordering::Release);
+                },
+            )
+        }));
+        match run {
+            Ok(outcome) => {
+                let failures = outcome.outcomes.iter().filter(|slot| slot.is_err()).count();
+                let done = Response::JobDone {
+                    job: entry.id,
+                    rows: outcome.outcomes.len() - failures,
+                    failures,
+                    cache_hits: self.cache.stats().hits - hits_before,
+                };
+                *entry.state.lock().expect("state lock") = JobState::Done;
+                entry.events.lock().expect("events lock").push_back(done);
+            }
+            Err(payload) => {
+                let message = if let Some(text) = payload.downcast_ref::<&'static str>() {
+                    (*text).to_owned()
+                } else if let Some(text) = payload.downcast_ref::<String>() {
+                    text.clone()
+                } else {
+                    "non-string panic payload".to_owned()
+                };
+                *entry.state.lock().expect("state lock") = JobState::Failed;
+                entry
+                    .events
+                    .lock()
+                    .expect("events lock")
+                    .push_back(Response::JobFailed {
+                        job: entry.id,
+                        message,
+                    });
+            }
+        }
+    }
+}
+
+/// Resolves every submitted circuit to a validated [`Netlist`], or
+/// explains (deterministically) why the submission is rejected. Spec
+/// generation runs under `catch_unwind` so an adversarial spec cannot
+/// take the session down.
+fn resolve_circuits(sources: &[CircuitSource]) -> Result<Vec<Netlist>, String> {
+    let mut netlists = Vec::with_capacity(sources.len());
+    for (index, source) in sources.iter().enumerate() {
+        let netlist = match source {
+            CircuitSource::Family { spec, scale, seed } => {
+                let (spec, seed) = (spec.clone(), *seed);
+                let scale = *scale;
+                catch_unwind(AssertUnwindSafe(move || {
+                    let spec = match scale {
+                        Some(factor) => spec.scaled(factor),
+                        None => spec,
+                    };
+                    spec.generate(seed)
+                }))
+                .map_err(|_| format!("circuit {index}: spec generation failed"))?
+            }
+            CircuitSource::Snapshot { bytes } => decode_message::<Netlist>(bytes)
+                .map_err(|error| format!("circuit {index}: bad netlist snapshot: {error}"))?,
+        };
+        netlist
+            .validate()
+            .map_err(|error| format!("circuit {index}: invalid netlist: {error}"))?;
+        netlists.push(netlist);
+    }
+    Ok(netlists)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scanpower_netlist::generator::CircuitFamily;
+
+    fn family(name: &str) -> CircuitSource {
+        CircuitSource::Family {
+            spec: CircuitFamily::iscas89_like(name).unwrap(),
+            scale: Some(0.3),
+            seed: 1,
+        }
+    }
+
+    #[test]
+    fn backpressure_is_a_typed_busy() {
+        let server = Server::new(ServeConfig {
+            queue_capacity: 1,
+            workers: 0,
+            default_deadline_ms: None,
+        });
+        let spec = JobSpec {
+            circuits: vec![family("s27")],
+            options: ExperimentOptions::fast(),
+        };
+        let first = server
+            .inner
+            .handle(Request::SubmitJob(Box::new(spec.clone())));
+        assert!(matches!(first, Response::JobAccepted { job: 1 }));
+        let second = server.inner.handle(Request::SubmitJob(Box::new(spec)));
+        assert_eq!(
+            second,
+            Response::Busy {
+                queued: 1,
+                capacity: 1
+            }
+        );
+    }
+
+    #[test]
+    fn manual_stepping_runs_queued_jobs_and_streams_rows() {
+        let server = Server::new(ServeConfig {
+            queue_capacity: 4,
+            workers: 0,
+            default_deadline_ms: None,
+        });
+        let spec = JobSpec {
+            circuits: vec![family("s27"), family("s344")],
+            options: ExperimentOptions::fast(),
+        };
+        let Response::JobAccepted { job } = server.inner.handle(Request::SubmitJob(Box::new(spec)))
+        else {
+            panic!("submission refused");
+        };
+        assert!(matches!(
+            server.inner.handle(Request::PollJob(job)),
+            Response::JobStatus {
+                state: JobState::Queued,
+                ..
+            }
+        ));
+        assert!(server.run_pending_job());
+        assert!(!server.run_pending_job(), "queue drained");
+        for index in 0..2 {
+            let event = server.inner.handle(Request::PollJob(job));
+            assert!(
+                matches!(
+                    &event,
+                    Response::RowReady {
+                        index: i,
+                        outcome: RowOutcome::Row(_),
+                        ..
+                    } if *i == index
+                ),
+                "event {index}: {event:?}"
+            );
+        }
+        assert!(matches!(
+            server.inner.handle(Request::PollJob(job)),
+            Response::JobDone {
+                rows: 2,
+                failures: 0,
+                ..
+            }
+        ));
+        // Drained: further polls are status snapshots.
+        assert!(matches!(
+            server.inner.handle(Request::PollJob(job)),
+            Response::JobStatus {
+                state: JobState::Done,
+                completed: 2,
+                total: 2,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn bad_submissions_are_rejected_with_typed_errors() {
+        let server = Server::new(ServeConfig {
+            workers: 0,
+            ..ServeConfig::default()
+        });
+        let empty = JobSpec {
+            circuits: vec![],
+            options: ExperimentOptions::fast(),
+        };
+        assert!(matches!(
+            server.inner.handle(Request::SubmitJob(Box::new(empty))),
+            Response::Error { .. }
+        ));
+        let bad_snapshot = JobSpec {
+            circuits: vec![CircuitSource::Snapshot {
+                bytes: vec![0xde, 0xad],
+            }],
+            options: ExperimentOptions::fast(),
+        };
+        assert!(matches!(
+            server
+                .inner
+                .handle(Request::SubmitJob(Box::new(bad_snapshot))),
+            Response::Error { .. }
+        ));
+        assert!(!server.run_pending_job(), "nothing was queued");
+    }
+
+    #[test]
+    fn snapshot_and_family_submissions_produce_identical_rows() {
+        let spec = CircuitFamily::iscas89_like("s27").unwrap();
+        let snapshot = spec.generate(1).to_wire_bytes();
+        let server = Server::new(ServeConfig {
+            workers: 0,
+            ..ServeConfig::default()
+        });
+        let submit = |source: CircuitSource| {
+            let Response::JobAccepted { job } =
+                server.inner.handle(Request::SubmitJob(Box::new(JobSpec {
+                    circuits: vec![source],
+                    options: ExperimentOptions::fast(),
+                })))
+            else {
+                panic!("submission refused");
+            };
+            assert!(server.run_pending_job());
+            server.inner.handle(Request::PollJob(job))
+        };
+        let from_family = submit(CircuitSource::Family {
+            spec,
+            scale: None,
+            seed: 1,
+        });
+        let from_snapshot = submit(CircuitSource::Snapshot { bytes: snapshot });
+        let row = |response: &Response| match response {
+            Response::RowReady { outcome, .. } => outcome.clone(),
+            other => panic!("expected RowReady, got {other:?}"),
+        };
+        assert_eq!(row(&from_family), row(&from_snapshot));
+    }
+
+    #[test]
+    fn unknown_jobs_answer_unknown() {
+        let server = Server::new(ServeConfig {
+            workers: 0,
+            ..ServeConfig::default()
+        });
+        assert!(matches!(
+            server.inner.handle(Request::PollJob(42)),
+            Response::JobStatus {
+                job: 42,
+                state: JobState::Unknown,
+                ..
+            }
+        ));
+        assert!(matches!(
+            server.inner.handle(Request::CancelJob(42)),
+            Response::CancelAck {
+                job: 42,
+                state: JobState::Unknown,
+            }
+        ));
+    }
+}

@@ -1,0 +1,394 @@
+//! Framed transports for the job service.
+//!
+//! A connection carries **frames**: a little-endian `u32` length prefix
+//! followed by that many payload bytes (a complete
+//! [`encode_message`](scanpower_wire::encode_message) envelope). Framing
+//! is transport-level; everything inside a frame is the canonical wire
+//! encoding, so the same payload bytes travel over every transport.
+//!
+//! Two transports ship, in the shape of `naia`'s client/server split:
+//!
+//! * [`LocalTransport`] — paired in-process byte channels. Fully
+//!   deterministic, no sockets, no ports; the test rig and any embedded
+//!   use drive this one.
+//! * [`TcpTransport`] — a [`std::net::TcpListener`] front. Same frames,
+//!   same payload bytes, real sockets.
+
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
+
+/// Ceiling on one frame's payload length. A length prefix over this is
+/// treated as a framing error and ends the connection — a corrupted or
+/// hostile prefix must not trigger a giant allocation.
+pub const MAX_FRAME_LEN: usize = 64 << 20;
+
+/// One framed, bidirectional connection.
+pub trait Connection: Send {
+    /// Sends one frame (length prefix + payload) and flushes it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying stream's I/O errors; refuses payloads
+    /// over [`MAX_FRAME_LEN`].
+    fn send_frame(&mut self, frame: &[u8]) -> io::Result<()>;
+
+    /// Receives the next frame's payload; `Ok(None)` on a clean
+    /// end-of-stream (the peer closed between frames).
+    ///
+    /// # Errors
+    ///
+    /// An end-of-stream *inside* a frame is
+    /// [`io::ErrorKind::UnexpectedEof`]; a length prefix over
+    /// [`MAX_FRAME_LEN`] is [`io::ErrorKind::InvalidData`].
+    fn recv_frame(&mut self) -> io::Result<Option<Vec<u8>>>;
+}
+
+/// The frame codec over any byte stream ([`TcpStream`],
+/// [`ChannelDuplex`], …).
+#[derive(Debug)]
+pub struct StreamConnection<S> {
+    stream: S,
+}
+
+impl<S: Read + Write + Send> StreamConnection<S> {
+    /// Wraps a byte stream in the frame codec.
+    pub fn new(stream: S) -> StreamConnection<S> {
+        StreamConnection { stream }
+    }
+}
+
+impl<S: Read + Write + Send> Connection for StreamConnection<S> {
+    fn send_frame(&mut self, frame: &[u8]) -> io::Result<()> {
+        if frame.len() > MAX_FRAME_LEN {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("frame of {} bytes exceeds MAX_FRAME_LEN", frame.len()),
+            ));
+        }
+        let prefix = u32::try_from(frame.len())
+            .expect("MAX_FRAME_LEN fits in u32")
+            .to_le_bytes();
+        self.stream.write_all(&prefix)?;
+        self.stream.write_all(frame)?;
+        self.stream.flush()
+    }
+
+    fn recv_frame(&mut self) -> io::Result<Option<Vec<u8>>> {
+        let mut prefix = [0u8; 4];
+        // A clean close lands exactly between frames: zero bytes of the
+        // next prefix. Anything shorter than a full frame after that is a
+        // mid-frame truncation and surfaces as UnexpectedEof.
+        if self.stream.read(&mut prefix[..1])? == 0 {
+            return Ok(None);
+        }
+        self.stream.read_exact(&mut prefix[1..])?;
+        let len = u32::from_le_bytes(prefix) as usize;
+        if len > MAX_FRAME_LEN {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("frame length prefix {len} exceeds MAX_FRAME_LEN"),
+            ));
+        }
+        let mut frame = vec![0u8; len];
+        self.stream.read_exact(&mut frame)?;
+        Ok(Some(frame))
+    }
+}
+
+/// One end of an in-process byte pipe: [`Write`] hands chunks to the
+/// peer's channel, [`Read`] drains chunks byte-exactly (a reader may
+/// consume half a chunk and get the rest on the next call). Dropping an
+/// end closes the pipe — the peer reads end-of-stream, exactly like a
+/// closed socket.
+#[derive(Debug)]
+pub struct ChannelDuplex {
+    tx: Sender<Vec<u8>>,
+    rx: Receiver<Vec<u8>>,
+    buffer: VecDeque<u8>,
+}
+
+impl ChannelDuplex {
+    /// A connected pair of pipe ends.
+    #[must_use]
+    pub fn pair() -> (ChannelDuplex, ChannelDuplex) {
+        let (a_tx, b_rx) = channel();
+        let (b_tx, a_rx) = channel();
+        (
+            ChannelDuplex {
+                tx: a_tx,
+                rx: a_rx,
+                buffer: VecDeque::new(),
+            },
+            ChannelDuplex {
+                tx: b_tx,
+                rx: b_rx,
+                buffer: VecDeque::new(),
+            },
+        )
+    }
+}
+
+impl Write for ChannelDuplex {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.tx
+            .send(buf.to_vec())
+            .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "peer closed"))?;
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+impl Read for ChannelDuplex {
+    fn read(&mut self, out: &mut [u8]) -> io::Result<usize> {
+        if out.is_empty() {
+            return Ok(0);
+        }
+        while self.buffer.is_empty() {
+            match self.rx.recv() {
+                Ok(chunk) => self.buffer.extend(chunk),
+                // All peer senders gone: end-of-stream.
+                Err(_) => return Ok(0),
+            }
+        }
+        let mut copied = 0;
+        while copied < out.len() {
+            match self.buffer.pop_front() {
+                Some(byte) => {
+                    out[copied] = byte;
+                    copied += 1;
+                }
+                None => break,
+            }
+        }
+        Ok(copied)
+    }
+}
+
+/// A listener: blocks for inbound connections until the transport closes.
+pub trait Transport: Send + 'static {
+    /// The connection type this transport accepts.
+    type Conn: Connection + 'static;
+
+    /// Blocks for the next inbound connection; `None` once the transport
+    /// has shut down (no more connections will ever arrive).
+    fn accept(&mut self) -> Option<Self::Conn>;
+}
+
+/// The in-process transport: connections are [`ChannelDuplex`] pairs
+/// handed over an internal channel. The listener shuts down when every
+/// [`LocalConnector`] clone has been dropped.
+#[derive(Debug)]
+pub struct LocalTransport {
+    incoming: Receiver<ChannelDuplex>,
+}
+
+/// The client side of a [`LocalTransport`]: clonable, sendable connection
+/// factory.
+#[derive(Debug, Clone)]
+pub struct LocalConnector {
+    listener: Sender<ChannelDuplex>,
+}
+
+impl LocalTransport {
+    /// A fresh in-process listener plus its connection factory.
+    #[must_use]
+    pub fn new() -> (LocalTransport, LocalConnector) {
+        let (listener, incoming) = channel();
+        (LocalTransport { incoming }, LocalConnector { listener })
+    }
+}
+
+impl Transport for LocalTransport {
+    type Conn = StreamConnection<ChannelDuplex>;
+
+    fn accept(&mut self) -> Option<Self::Conn> {
+        self.incoming.recv().ok().map(StreamConnection::new)
+    }
+}
+
+impl LocalConnector {
+    /// Opens a connection to the paired [`LocalTransport`].
+    ///
+    /// # Errors
+    ///
+    /// [`io::ErrorKind::ConnectionRefused`] when the listener is gone.
+    pub fn connect(&self) -> io::Result<StreamConnection<ChannelDuplex>> {
+        let (client, server) = ChannelDuplex::pair();
+        self.listener.send(server).map_err(|_| {
+            io::Error::new(io::ErrorKind::ConnectionRefused, "local listener closed")
+        })?;
+        Ok(StreamConnection::new(client))
+    }
+
+    /// Hands a raw pipe end to the listener and returns the client end —
+    /// for tests that need byte-level (unframed) access to the wire.
+    ///
+    /// # Errors
+    ///
+    /// [`io::ErrorKind::ConnectionRefused`] when the listener is gone.
+    pub fn connect_raw(&self) -> io::Result<ChannelDuplex> {
+        let (client, server) = ChannelDuplex::pair();
+        self.listener.send(server).map_err(|_| {
+            io::Error::new(io::ErrorKind::ConnectionRefused, "local listener closed")
+        })?;
+        Ok(client)
+    }
+}
+
+/// The socket transport: a [`TcpListener`] front over the same frames.
+#[derive(Debug)]
+pub struct TcpTransport {
+    listener: TcpListener,
+    stop: Arc<AtomicBool>,
+}
+
+/// Handle that unblocks and stops a [`TcpTransport`]'s accept loop.
+#[derive(Debug, Clone)]
+pub struct TcpShutdown {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+}
+
+impl TcpTransport {
+    /// Binds a listener (use port 0 for an ephemeral port) and returns it
+    /// with its shutdown handle.
+    ///
+    /// # Errors
+    ///
+    /// The bind's I/O errors.
+    pub fn bind<A: ToSocketAddrs>(addr: A) -> io::Result<(TcpTransport, TcpShutdown)> {
+        let listener = TcpListener::bind(addr)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let shutdown = TcpShutdown {
+            addr: listener.local_addr()?,
+            stop: Arc::clone(&stop),
+        };
+        Ok((TcpTransport { listener, stop }, shutdown))
+    }
+
+    /// The bound address (the concrete port when bound to port 0).
+    ///
+    /// # Errors
+    ///
+    /// The underlying socket's I/O errors.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+}
+
+impl Transport for TcpTransport {
+    type Conn = StreamConnection<TcpStream>;
+
+    fn accept(&mut self) -> Option<Self::Conn> {
+        if self.stop.load(Ordering::Acquire) {
+            return None;
+        }
+        let (stream, _) = self.listener.accept().ok()?;
+        // The wake-up connection from TcpShutdown is not a client;
+        // re-check the flag before handing it out.
+        if self.stop.load(Ordering::Acquire) {
+            return None;
+        }
+        Some(StreamConnection::new(stream))
+    }
+}
+
+impl TcpShutdown {
+    /// Stops the accept loop: sets the flag, then opens (and immediately
+    /// drops) a wake-up connection so a blocked `accept` observes it.
+    pub fn shutdown(&self) {
+        self.stop.store(true, Ordering::Release);
+        let _ = TcpStream::connect(self.addr);
+    }
+
+    /// The listener's address.
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip_over_the_local_pipe() {
+        let (a, b) = ChannelDuplex::pair();
+        let mut a = StreamConnection::new(a);
+        let mut b = StreamConnection::new(b);
+        a.send_frame(b"hello").unwrap();
+        a.send_frame(b"").unwrap();
+        a.send_frame(&[7u8; 1000]).unwrap();
+        assert_eq!(b.recv_frame().unwrap().unwrap(), b"hello");
+        assert_eq!(b.recv_frame().unwrap().unwrap(), b"");
+        assert_eq!(b.recv_frame().unwrap().unwrap(), vec![7u8; 1000]);
+        drop(a);
+        assert!(b.recv_frame().unwrap().is_none(), "clean end-of-stream");
+    }
+
+    #[test]
+    fn truncated_frame_is_an_unexpected_eof() {
+        let (mut a, b) = ChannelDuplex::pair();
+        let mut b = StreamConnection::new(b);
+        // A 100-byte frame announced, 3 bytes delivered, then the close.
+        a.write_all(&100u32.to_le_bytes()).unwrap();
+        a.write_all(&[1, 2, 3]).unwrap();
+        drop(a);
+        let error = b.recv_frame().unwrap_err();
+        assert_eq!(error.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_refused_without_allocating() {
+        let (mut a, b) = ChannelDuplex::pair();
+        let mut b = StreamConnection::new(b);
+        a.write_all(&u32::MAX.to_le_bytes()).unwrap();
+        let error = b.recv_frame().unwrap_err();
+        assert_eq!(error.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn local_transport_hands_out_connected_pairs() {
+        let (mut transport, connector) = LocalTransport::new();
+        let mut client = connector.connect().unwrap();
+        let mut server_side = transport.accept().unwrap();
+        client.send_frame(b"ping").unwrap();
+        assert_eq!(server_side.recv_frame().unwrap().unwrap(), b"ping");
+        server_side.send_frame(b"pong").unwrap();
+        assert_eq!(client.recv_frame().unwrap().unwrap(), b"pong");
+        drop(connector);
+        drop(client);
+        drop(server_side);
+        assert!(transport.accept().is_none(), "all connectors dropped");
+    }
+
+    #[test]
+    fn tcp_transport_accepts_and_shuts_down() {
+        let (mut transport, shutdown) = TcpTransport::bind("127.0.0.1:0").unwrap();
+        let addr = transport.local_addr().unwrap();
+        let accepted = std::thread::spawn(move || {
+            let mut conn = transport.accept().expect("real connection");
+            let frame = conn.recv_frame().unwrap().unwrap();
+            conn.send_frame(&frame).unwrap();
+            transport.accept().is_none()
+        });
+        let mut client = StreamConnection::new(TcpStream::connect(addr).unwrap());
+        client.send_frame(b"over tcp").unwrap();
+        // The echo proves the first accept completed before the shutdown
+        // races the loop.
+        assert_eq!(client.recv_frame().unwrap().unwrap(), b"over tcp");
+        shutdown.shutdown();
+        assert!(
+            accepted.join().unwrap(),
+            "shutdown unblocks and ends the accept loop"
+        );
+    }
+}

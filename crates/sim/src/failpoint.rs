@@ -35,6 +35,8 @@
 //! | `power::observer::cycle` | observed shift-state ordinal | `PackedShiftLeakage` shift accumulation |
 //! | `power::observer::flush` | flush ordinal | `PackedShiftLeakage` capture flush |
 //! | `core::experiment::circuit` | spec index | each `run_table1_partial` circuit job |
+//! | `serve::session` | session ordinal | each decoded request frame in a `scanpower-serve` session loop |
+//! | `serve::queue` | job id | `scanpower-serve` job admission, before the bounded queue is consulted |
 //!
 //! # Test hygiene
 //!

@@ -163,6 +163,32 @@ impl CancelFlag {
             Ok(())
         }
     }
+
+    /// A child flag that **shares** this flag's tripped state — cancelling
+    /// the parent cancels every child at its next checkpoint — while
+    /// carrying its own optional deadline `budget` on top. When both the
+    /// parent and the child have deadlines, the child observes the earlier
+    /// of the two.
+    ///
+    /// This is the seam an external supervisor (a job service handling a
+    /// `CancelJob` request, say) uses to cancel work that is already deep
+    /// inside a per-attempt replay: the attempt polls the child, the
+    /// supervisor trips the parent.
+    ///
+    /// Note that the sharing is symmetric: [`CancelFlag::cancel`] on a
+    /// child also trips the parent (and every sibling). Deadlines are not
+    /// shared — a child's expired deadline cancels only that child.
+    #[must_use]
+    pub fn child(&self, budget: Option<Duration>) -> CancelFlag {
+        let own_deadline = budget.map(|budget| Instant::now() + budget);
+        CancelFlag {
+            tripped: Arc::clone(&self.tripped),
+            deadline: match (self.deadline, own_deadline) {
+                (Some(parent), Some(own)) => Some(parent.min(own)),
+                (parent, own) => parent.or(own),
+            },
+        }
+    }
 }
 
 /// Supervision policy for [`BlockDriver::map_supervised`]: how often a job
@@ -790,6 +816,37 @@ mod tests {
             BlockDriver::new(3),
             BlockDriver::new(16),
         ]
+    }
+
+    /// Children share the parent's tripped state (in both directions) but
+    /// keep their own deadlines: an expired child budget cancels only that
+    /// child.
+    #[test]
+    fn cancel_flag_children_share_trips_but_not_deadlines() {
+        let parent = CancelFlag::new();
+        let child = parent.child(None);
+        assert!(child.checkpoint().is_ok());
+        parent.cancel();
+        assert_eq!(child.checkpoint(), Err(Canceled));
+
+        let parent = CancelFlag::new();
+        let expired = parent.child(Some(Duration::ZERO));
+        let sibling = parent.child(None);
+        assert_eq!(expired.checkpoint(), Err(Canceled));
+        assert!(
+            sibling.checkpoint().is_ok(),
+            "a child's deadline must not leak to the parent or siblings"
+        );
+        assert!(parent.checkpoint().is_ok());
+
+        // Symmetric sharing: cancelling a child trips the parent too.
+        sibling.cancel();
+        assert_eq!(parent.checkpoint(), Err(Canceled));
+
+        // A child inherits the parent's (earlier) deadline.
+        let parent = CancelFlag::with_deadline(Duration::ZERO);
+        let child = parent.child(Some(Duration::from_secs(3600)));
+        assert_eq!(child.checkpoint(), Err(Canceled));
     }
 
     #[test]

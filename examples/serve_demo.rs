@@ -1,0 +1,195 @@
+//! Drives the scan-power job service end to end, over both transports.
+//!
+//! Run with `cargo run --release --example serve_demo`.
+//!
+//! The demo starts one server (shared result cache, background workers),
+//! then exercises the headline guarantee of the service front-end:
+//!
+//! 1. **Local transport** — submits the Table I circuits over the
+//!    in-process `LocalTransport` and prints each `RowReady` as it
+//!    streams in (spec order, incremental — not a batch at the end).
+//! 2. **Warm resubmission** — submits the *same* circuits again in a
+//!    shuffled order with a different harness thread count; every row
+//!    comes back byte-identical and the `JobDone` frame reports one
+//!    cache hit per circuit (no replay ran).
+//! 3. **TCP transport** — repeats the submission over a real
+//!    `std::net::TcpListener` socket and checks the row bytes match the
+//!    local transport's, byte for byte.
+//!
+//! Environment knobs (same family as `table1_report`):
+//!
+//! * `SCANPOWER_CIRCUITS` — comma-separated circuit names (default:
+//!   `s344,s382,s444,s510`);
+//! * `SCANPOWER_SCALE`    — shrink factor for the synthetic circuits
+//!   (default: `0.3` for a quick demo; use `1.0` for full size);
+//! * `SCANPOWER_SEED`     — synthetic-netlist seed (default: 1);
+//! * `SCANPOWER_THREADS`  — harness worker threads of the first
+//!   submission (default: 1; the resubmission always uses a different
+//!   count to demonstrate bit-identity).
+
+use std::net::TcpStream;
+
+use scanpower_suite::core::experiment::ExperimentOptions;
+use scanpower_suite::netlist::generator::CircuitFamily;
+use scanpower_suite::serve::protocol::{CircuitSource, JobSpec, Response, RowOutcome};
+use scanpower_suite::serve::transport::{LocalTransport, StreamConnection, TcpTransport};
+use scanpower_suite::serve::{DrainedJob, ServeClient, ServeConfig, Server};
+
+fn job_spec(order: &[String], scale: Option<f64>, seed: u64, threads: usize) -> JobSpec {
+    JobSpec {
+        circuits: order
+            .iter()
+            .map(|name| CircuitSource::Family {
+                spec: CircuitFamily::iscas89_like(name).expect("known circuit"),
+                scale,
+                seed,
+            })
+            .collect(),
+        options: ExperimentOptions {
+            threads,
+            ..ExperimentOptions::fast()
+        },
+    }
+}
+
+fn print_rows(label: &str, order: &[String], drained: &DrainedJob) {
+    for event in &drained.rows {
+        match &event.response {
+            Response::RowReady {
+                outcome: RowOutcome::Row(row),
+                index,
+                ..
+            } => eprintln!(
+                "[{label}] row {index} ({:<6}): dyn(/f) {:.3e} -> {:.3e} uW/Hz, \
+                 static {:.2} -> {:.2} uW",
+                row.circuit,
+                row.traditional.dynamic_per_hz_uw,
+                row.proposed.dynamic_per_hz_uw,
+                row.traditional.static_uw,
+                row.proposed.static_uw,
+            ),
+            Response::RowReady {
+                outcome: RowOutcome::Failed { message },
+                index,
+                ..
+            } => eprintln!(
+                "[{label}] row {index} ({}): FAILED: {message}",
+                order[*index]
+            ),
+            other => eprintln!("[{label}] unexpected event: {other:?}"),
+        }
+    }
+    if let Response::JobDone {
+        rows,
+        failures,
+        cache_hits,
+        ..
+    } = drained.end
+    {
+        eprintln!("[{label}] done: {rows} rows, {failures} failures, {cache_hits} cache hits");
+    }
+}
+
+/// The `RowOutcome` bytes of each row frame, keyed by circuit name —
+/// job ids and slot indices differ between submissions, the row bytes
+/// must not. Layout: 4 magic + 2 version + 1 tag + 8 job + 8 index.
+fn outcome_bytes<'a>(order: &'a [String], drained: &DrainedJob) -> Vec<(&'a str, Vec<u8>)> {
+    drained
+        .rows
+        .iter()
+        .map(|event| (order[event.index].as_str(), event.frame[23..].to_vec()))
+        .collect()
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let circuits: Vec<String> = std::env::var("SCANPOWER_CIRCUITS")
+        .map(|s| s.split(',').map(|c| c.trim().to_owned()).collect())
+        .unwrap_or_else(|_| ["s344", "s382", "s444", "s510"].map(String::from).to_vec());
+    let scale: f64 = std::env::var("SCANPOWER_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.3);
+    let seed: u64 = std::env::var("SCANPOWER_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
+    let threads: usize = std::env::var("SCANPOWER_THREADS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
+    let scale = ((scale - 1.0).abs() > f64::EPSILON).then_some(scale);
+
+    let server = Server::new(ServeConfig::default());
+
+    // 1. Local transport: submit and stream.
+    let (local, connector) = LocalTransport::new();
+    let local_listener = server.spawn_listener(local);
+    let mut client = ServeClient::new(connector.connect()?);
+    eprintln!(
+        "submitting {} circuits over LocalTransport ({threads} harness thread(s))...",
+        circuits.len()
+    );
+    let cold = client.run_job(&job_spec(&circuits, scale, seed, threads))?;
+    print_rows("local/cold", &circuits, &cold);
+    let reference = outcome_bytes(&circuits, &cold);
+
+    // 2. Warm resubmission: shuffled order, different thread count.
+    let mut shuffled = circuits.clone();
+    let rotation = 1.min(shuffled.len() - 1);
+    shuffled.rotate_left(rotation);
+    eprintln!(
+        "resubmitting shuffled ({}) with auto threads...",
+        shuffled.join(",")
+    );
+    let warm = client.run_job(&job_spec(&shuffled, scale, seed, 0))?;
+    print_rows("local/warm", &shuffled, &warm);
+    let warm_bytes = outcome_bytes(&shuffled, &warm);
+    for (name, bytes) in &warm_bytes {
+        let (_, reference_bytes) = reference
+            .iter()
+            .find(|(reference_name, _)| reference_name == name)
+            .expect("same circuits");
+        assert_eq!(
+            bytes, reference_bytes,
+            "{name}: warm rows must be byte-identical to the cold run"
+        );
+    }
+    if let Response::JobDone { cache_hits, .. } = warm.end {
+        assert_eq!(
+            cache_hits,
+            circuits.len() as u64,
+            "the warm resubmission is served entirely from the cache"
+        );
+    }
+    eprintln!("warm rows byte-identical, served from cache");
+    drop(client);
+    drop(connector);
+    local_listener.join().expect("local listener");
+
+    // 3. TCP transport: same server core, same bytes over a socket.
+    let (tcp, shutdown) = TcpTransport::bind("127.0.0.1:0")?;
+    let addr = tcp.local_addr()?;
+    let tcp_listener = server.spawn_listener(tcp);
+    eprintln!("resubmitting over TcpTransport at {addr}...");
+    let mut tcp_client = ServeClient::new(StreamConnection::new(TcpStream::connect(addr)?));
+    let over_tcp = tcp_client.run_job(&job_spec(&circuits, scale, seed, threads))?;
+    print_rows("tcp", &circuits, &over_tcp);
+    for ((name, bytes), (_, reference_bytes)) in
+        outcome_bytes(&circuits, &over_tcp).iter().zip(&reference)
+    {
+        assert_eq!(
+            bytes, reference_bytes,
+            "{name}: the transport must not change a single byte"
+        );
+    }
+    eprintln!("tcp rows byte-identical to the local transport's");
+    drop(tcp_client);
+    shutdown.shutdown();
+    tcp_listener.join().expect("tcp listener");
+
+    println!(
+        "serve_demo: {} circuits, both transports, byte-identical rows, warm pass all cache hits",
+        circuits.len()
+    );
+    Ok(())
+}

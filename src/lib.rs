@@ -23,6 +23,7 @@ pub use scanpower_core as core;
 pub use scanpower_lint as lint;
 pub use scanpower_netlist as netlist;
 pub use scanpower_power as power;
+pub use scanpower_serve as serve;
 pub use scanpower_sim as sim;
 pub use scanpower_timing as timing;
 pub use scanpower_wire as wire;

@@ -255,3 +255,45 @@ fn delay_faults_never_perturb_the_report() {
     }
     assert_eq!(failpoint::fired_count("core::experiment::circuit"), 3);
 }
+
+/// The streaming callback under an injected panic: the panicked slot is
+/// delivered at end of run (the panic escapes the job before an outcome
+/// exists), yet every slot still streams exactly once, in spec order,
+/// with outcomes identical to the returned batch — at every thread count.
+#[test]
+fn injected_panic_does_not_break_streamed_delivery_order() {
+    use std::sync::Mutex;
+
+    use scanpower_suite::core::experiment::run_table1_partial_streamed;
+
+    let _scope = failpoint::scope();
+    let specs = specs();
+    failpoint::configure("core::experiment::circuit", Fault::panic().for_key(1));
+
+    for threads in [1, 3, 0] {
+        let streamed = Mutex::new(Vec::new());
+        let outcome = run_table1_partial_streamed(
+            &specs,
+            &options(threads),
+            SCALE,
+            SEED,
+            None,
+            &|index, row| streamed.lock().unwrap().push((index, row.clone())),
+        );
+        let streamed = streamed.into_inner().unwrap();
+        let indices: Vec<usize> = streamed.iter().map(|(index, _)| *index).collect();
+        assert_eq!(indices, vec![0, 1, 2], "threads {threads}: spec order");
+        for (index, row) in streamed {
+            assert_eq!(
+                row, outcome.outcomes[index],
+                "threads {threads}: streamed == batch"
+            );
+        }
+        assert!(matches!(
+            outcome.outcomes[1]
+                .as_ref()
+                .expect_err("the injected panic"),
+            ExperimentError::WorkerFailed { .. }
+        ));
+    }
+}

@@ -21,9 +21,7 @@ use scanpower_suite::netlist::{bench, GateKind, Netlist};
 use scanpower_suite::sim::scan::{ScanPattern, ShiftConfig, ShiftStats};
 use scanpower_suite::sim::Logic;
 use scanpower_suite::timing::DelayModel;
-use scanpower_suite::wire::{
-    decode_message, encode_message, WireError, WIRE_MAGIC, WIRE_VERSION,
-};
+use scanpower_suite::wire::{decode_message, encode_message, WireError, WIRE_MAGIC, WIRE_VERSION};
 
 const CASES: usize = 24;
 
